@@ -1,0 +1,28 @@
+"""Benchmark fixtures: results directory + table emission helper."""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def out_dir():
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def emit(out_dir):
+    """Print a reproduced table and persist it under benchmarks/out/."""
+
+    def _emit(name, *tables):
+        text = "\n\n".join(table.format() for table in tables)
+        print("\n" + text)
+        path = os.path.join(out_dir, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        return path
+
+    return _emit

@@ -1,0 +1,15 @@
+"""Bench: placement-policy sensitivity (MAPA vs round-robin vs random)."""
+
+from repro.experiments import ablations
+
+
+def test_placement_sweep(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablations.run_placement_sweep(rate=4.0, duration=10.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("abl_placement", table)
+    rows = {r["policy"]: r for r in table.rows}
+    # MAPA exploits NVLink adjacency: not worse than random placement.
+    assert rows["mapa"]["mean_ms"] <= rows["random"]["mean_ms"] * 1.1

@@ -1,0 +1,24 @@
+"""Bench: transfer-engine tuning ablations (chunk size, batch size)."""
+
+from repro.experiments import ablations
+
+
+def test_chunk_size_sweep(benchmark, emit):
+    table = benchmark.pedantic(
+        ablations.run_chunk_size_sweep, rounds=1, iterations=1
+    )
+    emit("abl_chunk_size", table)
+    by_chunk = {row["chunk_mb"]: row["latency_ms"] for row in table.rows}
+    # The 2 MB default should not be worse than the extremes.
+    assert by_chunk[2] <= by_chunk[0.25] * 1.05
+    assert by_chunk[2] <= by_chunk[32] * 1.5
+
+
+def test_batch_size_sweep(benchmark, emit):
+    table = benchmark.pedantic(
+        ablations.run_batch_size_sweep, rounds=1, iterations=1
+    )
+    emit("abl_batch_size", table)
+    by_batch = {row["batch_chunks"]: row["latency_ms"] for row in table.rows}
+    # Larger batches amortize setup: 1-chunk batches must be slowest.
+    assert by_batch[1] >= by_batch[5]

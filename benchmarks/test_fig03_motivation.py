@@ -1,0 +1,28 @@
+"""Bench: Fig. 3 — host-centric data-passing breakdown."""
+
+from repro.experiments import fig03
+
+
+def test_fig03_overall(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig03.run_overall(rate=3.0, duration=8.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig03a_breakdown", table)
+    # The paper's headline: data passing dominates host-centric latency.
+    heavy = [r for r in table.rows if r["workflow"] in ("driving", "video")]
+    assert all(row["data_fraction"] > 0.5 for row in heavy)
+
+
+def test_fig03_traffic_batches(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig03.run_traffic_batches(
+            batches=(1, 4, 8, 16, 32), rate=3.0, duration=8.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig03b_traffic_batches", table)
+    fractions = [row["data_fraction"] for row in table.rows]
+    assert fractions[-1] > fractions[0]  # bigger batches, more data time

@@ -1,0 +1,16 @@
+"""Bench: Fig. 4 — redundant data copies in the motivating chain."""
+
+from repro.experiments import fig04
+
+
+def test_fig04_copy_counts(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig04.run(trials=5), rounds=1, iterations=1
+    )
+    emit("fig04_copy_counts", table)
+    rows = {r["plane"]: r for r in table.rows}
+    # GROUTER achieves the optimum (one copy per hop); NVSHMEM+'s blind
+    # placement averages well above it (paper: up to 3 extra copies).
+    assert rows["grouter"]["copies"] == 2.0
+    assert rows["nvshmem+"]["copies"] > 2.5
+    assert rows["grouter"]["latency_ms"] < rows["nvshmem+"]["latency_ms"]

@@ -1,0 +1,16 @@
+"""Bench: Fig. 5(b) — PCIe interference without bandwidth partitioning."""
+
+from repro.experiments import fig05
+
+
+def test_fig05_interference(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig05.run(rate=5.0, duration=12.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig05b_pcie_interference", table)
+    rows = {r["scenario"]: r for r in table.rows}
+    co_located = rows["driving + video co-located"]
+    # Co-location inflates gFn-host latency (paper: 3.65x).
+    assert co_located["slowdown_vs_driving_alone"] > 1.0

@@ -1,0 +1,13 @@
+"""Bench: Fig. 6(a) — DGX-V100 pairwise bandwidth matrix."""
+
+from repro.experiments import fig06
+
+
+def test_fig06_bandwidth_matrix(benchmark, emit):
+    table = benchmark.pedantic(fig06.run, rounds=1, iterations=1)
+    emit("fig06a_p2p_bandwidth", table)
+    # Asymmetry statistics from §3.2.2 must hold exactly.
+    bandwidth = fig06.measure_pair_bandwidth()
+    pairs = [(a, b) for (a, b) in bandwidth if a < b]
+    assert sum(1 for p in pairs if bandwidth[p] > 40) == 8
+    assert sum(1 for p in pairs if bandwidth[p] <= 20) == 12

@@ -1,0 +1,29 @@
+"""Bench: Fig. 7 — GPU memory dynamics and forced eviction."""
+
+from repro.experiments import fig07
+
+
+def test_fig07_memory_timeline(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig07.run_memory_timeline(rate=4.0, duration=15.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig07a_memory_timeline", table)
+    assert table.rows
+
+
+def test_fig07_forced_eviction(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig07.run_forced_eviction(
+            limits=(1.0, 0.1, 0.02), rate=10.0, duration=12.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig07b_forced_eviction", table)
+    pressure = [
+        row["migrations"] + row["admission_spills"] for row in table.rows
+    ]
+    assert pressure[-1] >= pressure[0]
+    assert pressure[-1] > 0

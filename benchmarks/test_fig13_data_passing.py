@@ -1,0 +1,41 @@
+"""Bench: Fig. 13 — data-passing latency across planes and sizes."""
+
+from repro.experiments import fig13
+
+
+def test_fig13_intra_node(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig13.run_pattern("intra", sizes_mb=(4, 16, 64, 256)),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig13a_intra_node", table)
+    for row in table.rows:
+        assert row["grouter_ms"] < row["infless+_ms"]
+        assert row["grouter_ms"] < row["nvshmem+_ms"]
+
+
+def test_fig13_host_gfn(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig13.run_pattern("host", sizes_mb=(4, 16, 64, 256)),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig13b_host_gfn", table)
+    # Small transfers are overhead-bound on every plane; the win shows
+    # from ~16 MB up (Fig 13 sweeps to GB scale).
+    for row in table.rows:
+        if row["size_mb"] >= 16:
+            assert row["grouter_ms"] < row["infless+_ms"]
+
+
+def test_fig13_inter_node(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig13.run_pattern("inter", sizes_mb=(4, 16, 64, 256)),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig13c_inter_node", table)
+    big = table.rows[-1]
+    # Paper: up to ~87% reduction cross-node at large sizes.
+    assert big["grouter_reduction_vs_best_baseline"] > 0.5

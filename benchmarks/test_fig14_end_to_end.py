@@ -1,0 +1,25 @@
+"""Bench: Fig. 14 — end-to-end P99 latency on both testbeds."""
+
+from repro.experiments import fig14
+
+
+def test_fig14_dgx_v100(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig14.run(preset="dgx-v100", rate=4.0, duration=12.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig14_v100_p99", table)
+    for row in table.rows:
+        assert row["grouter_p99_ms"] < row["infless+_p99_ms"]
+
+
+def test_fig14_dgx_a100(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig14.run(preset="dgx-a100", rate=4.0, duration=12.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig14_a100_p99", table)
+    for row in table.rows:
+        assert row["grouter_p99_ms"] <= row["infless+_p99_ms"]

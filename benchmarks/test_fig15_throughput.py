@@ -1,0 +1,16 @@
+"""Bench: Fig. 15 — maximum sustainable throughput."""
+
+from repro.experiments import fig15
+
+
+def test_fig15_throughput(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig15.run(workload_name="driving", duration=8.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig15_throughput", table)
+    for row in table.rows:
+        # GROUTER sustains more load than the host-centric baseline
+        # (paper: 2.1x intra-node, 2.73x cross-node).
+        assert row["grouter_speedup_vs_infless"] > 1.0

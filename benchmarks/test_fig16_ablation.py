@@ -1,0 +1,26 @@
+"""Bench: Fig. 16 — ablation of GROUTER's four mechanisms."""
+
+from repro.experiments import fig16
+
+
+def test_fig16_v100(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig16.run(preset="dgx-v100", rate=5.0, duration=12.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig16_ablation_v100", table)
+    slowdowns = [row["slowdown_vs_full"] for row in table.rows]
+    # Paper: 1.57-1.82x slower with everything off on V100.
+    assert slowdowns[-1] > 1.1
+
+
+def test_fig16_a100(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig16.run(preset="dgx-a100", rate=5.0, duration=12.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig16_ablation_a100", table)
+    slowdowns = [row["slowdown_vs_full"] for row in table.rows]
+    assert slowdowns[-1] > 1.05

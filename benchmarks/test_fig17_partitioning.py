@@ -1,0 +1,22 @@
+"""Bench: Fig. 17 — SLO-aware bandwidth partitioning under co-location."""
+
+from repro.experiments import fig17
+
+
+def test_fig17_partitioning(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig17.run(rate=4.0, duration=12.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig17_partitioning", table)
+    rows = {(r["pairing"], r["config"]): r for r in table.rows}
+    high_on = rows[("high contention (driving+video)", "grouter")]
+    high_off = rows[("high contention (driving+video)", "grouter-BH")]
+    # Partial reproduction: the fluid model shows a small protection
+    # effect (the paper reports 32% on real PCIe arbitration hardware);
+    # assert partitioning is not harmful and protects tail latency.
+    assert (
+        high_on["driving_data_ms"] <= high_off["driving_data_ms"] * 1.1
+    )
+    assert high_on["driving_p99_ms"] <= high_off["driving_p99_ms"] * 1.15

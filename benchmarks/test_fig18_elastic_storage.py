@@ -1,0 +1,38 @@
+"""Bench: Fig. 18 — elastic GPU storage under memory pressure."""
+
+from repro.experiments import fig18
+
+
+def test_fig18_tail_latency(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig18.run_tail_latency(duration=12.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig18a_tail_latency", table)
+    rows = {r["system"]: r for r in table.rows}
+    assert rows["grouter"]["p99_ms"] <= rows["infless+"]["p99_ms"]
+
+
+def test_fig18_memory_sweep(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig18.run_memory_sweep(
+            fractions=(0.01, 0.05, 0.1), duration=10.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig18b_memory_sweep", table)
+    for row in table.rows:
+        assert row["grouter_p99_ms"] <= row["infless+_p99_ms"] * 1.2
+
+
+def test_fig18_data_passing(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig18.run_data_passing(duration=12.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig18c_data_passing", table)
+    rows = {r["system"]: r for r in table.rows}
+    assert rows["grouter"]["data_ms"] < rows["infless+"]["data_ms"]

@@ -1,0 +1,32 @@
+"""Bench: Fig. 19 — TTFT for MoA KV-cache passing on 8xH800 nodes."""
+
+from repro.experiments import fig19
+
+
+def test_fig19_input_lengths(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig19.run_input_lengths(),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig19a_ttft_input_length", table)
+    at_4k = next(r for r in table.rows if r["input_tokens"] == 4096)
+    # Paper at 4K: -66% vs INFless+, -57% vs Mooncake+.
+    assert at_4k["grouter_reduction_vs_infless"] > 0.4
+    assert at_4k["grouter_reduction_vs_mooncake"] > 0.2
+
+
+def test_fig19_models_tp(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig19.run_models_tp(),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig19b_ttft_models_tp", table)
+    # The Mooncake gap narrows as TP grows for every model.
+    for model in ("llama-7b", "llama-13b", "llama-70b"):
+        rows = [r for r in table.rows if r["model"] == model]
+        assert (
+            rows[-1]["grouter_reduction_vs_mooncake"]
+            < rows[0]["grouter_reduction_vs_mooncake"]
+        )

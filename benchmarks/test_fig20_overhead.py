@@ -1,0 +1,44 @@
+"""Bench: Fig. 20 — no-NVLink applicability and system overheads."""
+
+from repro.experiments import fig20
+
+
+def test_fig20_a10_latency(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig20.run_a10_latency(sizes_mb=(16, 64, 256)),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig20a_a10_latency", table)
+    # Paper: ~51% lower latency even without NVLink (larger transfers).
+    for row in table.rows:
+        if row["size_mb"] >= 64:
+            assert row["grouter_reduction"] > 0.2
+
+
+def test_fig20_cpu_overhead(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig20.run_cpu_overhead(rate=4.0, duration=12.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig20b_cpu_overhead", table)
+    rows = {r["plane"]: r for r in table.rows}
+    # GROUTER's control plane stays a small fraction of one core.
+    assert rows["grouter"]["cpu_core_fraction"] < 0.1
+
+
+def test_fig20_gpu_memory_overhead(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig20.run_gpu_memory_overhead(rate=4.0, duration=12.0),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig20c_gpu_memory_overhead", table)
+    rows = {r["plane"]: r for r in table.rows}
+    grouter_total = rows["grouter"]["final_reserved_gb"]
+    nvshmem_total = (
+        rows["nvshmem+"]["peak_pool_gb"]
+        + rows["nvshmem+"]["peak_symmetric_gb"]
+    )
+    assert grouter_total < nvshmem_total

@@ -1,0 +1,16 @@
+"""Bench: Table 1 — capability matrix derived from the implementations."""
+
+from repro.experiments import table1
+
+
+def test_table1_matrix(benchmark, emit):
+    table = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    emit("table1_features", table)
+    rows = {r["system"]: r for r in table.rows}
+    assert rows["grouter"] == {
+        "system": "grouter",
+        "data_locality": "yes",
+        "bandwidth_harvesting": "yes",
+        "elastic_storage": "yes",
+    }
+    assert rows["nvshmem+"]["data_locality"] == "no"

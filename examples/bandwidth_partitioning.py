@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""SLO-aware bandwidth partitioning under saturation (paper §4.3.2).
+
+A latency-critical consumer repeatedly pulls a 192 MB tensor from host
+memory with a 30 ms deadline while twelve throughput-oriented streams
+flood every PCIe uplink with back-to-back 64 MB loads.  With max-min
+sharing (what DeepPlan+-style parallel transfers give you) the critical
+fetch drowns in the flood; GROUTER's rate control reserves Rate_least
+for it and tops up the tightest deadline first.
+
+Run:  python examples/bandwidth_partitioning.py
+"""
+
+import numpy as np
+
+from repro.common.units import MB, MS, fmt_time
+from repro.experiments.harness import (
+    build_testbed,
+    cpu_ctx,
+    gpu_ctx,
+    register_probe_workflow,
+)
+
+CRITICAL_BYTES = 192 * MB
+CRITICAL_DEADLINE = 60 * MS
+FLOOD_BYTES = 64 * MB
+FLOOD_STREAMS_PER_GPU = 3
+
+
+def run(policy):
+    testbed = build_testbed(
+        plane_name="grouter",
+        with_platform=False,
+        plane_kwargs={"network_policy": policy},
+    )
+    register_probe_workflow(testbed.plane)
+    env, plane = testbed.env, testbed.plane
+    latencies = []
+
+    def critical_loop():
+        for _ in range(20):
+            src = cpu_ctx(testbed, 0)
+            ref = yield plane.put(src, CRITICAL_BYTES)
+            dst = gpu_ctx(
+                testbed, 0, 0, slo_deadline=env.now + CRITICAL_DEADLINE
+            )
+            started = env.now
+            yield plane.get(dst, ref)
+            latencies.append(env.now - started)
+            yield env.timeout(0.1)
+
+    def flood_loop(gpu_index, offset):
+        yield env.timeout(offset)
+        for _ in range(400):
+            src = cpu_ctx(testbed, 0)
+            ref = yield plane.put(src, FLOOD_BYTES)
+            dst = gpu_ctx(
+                testbed, 0, gpu_index, slo_deadline=env.now + 200 * MS
+            )
+            yield plane.get(dst, ref)
+
+    env.process(critical_loop())
+    stream = 0
+    for gpu_index in (4, 5, 6, 7):
+        for _ in range(FLOOD_STREAMS_PER_GPU):
+            env.process(flood_loop(gpu_index, 0.001 * stream))
+            stream += 1
+    env.run(until=2.5)
+    return latencies
+
+
+def main():
+    print(
+        f"Critical fetch: {CRITICAL_BYTES / MB:.0f} MB, "
+        f"{CRITICAL_DEADLINE / MS:.0f} ms deadline, vs "
+        f"{4 * FLOOD_STREAMS_PER_GPU} flood streams of "
+        f"{FLOOD_BYTES / MB:.0f} MB\n"
+    )
+    for policy, label in (
+        ("maxmin", "max-min sharing (GROUTER-BH / DeepPlan+-style)"),
+        ("slo_gated", "SLO-gated rate control (GROUTER)"),
+    ):
+        latencies = run(policy)
+        mean = float(np.mean(latencies))
+        p95 = float(np.percentile(latencies, 95))
+        met = sum(1 for value in latencies if value <= CRITICAL_DEADLINE)
+        print(f"[{label}]")
+        print(f"  mean fetch : {fmt_time(mean)}")
+        print(f"  p95 fetch  : {fmt_time(p95)}")
+        print(f"  deadline   : {met}/{len(latencies)} met\n")
+    print("Rate_least reservations plus tightest-deadline-first residual "
+          "keep the\ncritical transfer moving while the flood soaks up "
+          "whatever is left.")
+
+
+if __name__ == "__main__":
+    main()

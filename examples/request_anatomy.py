@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Anatomy of one request: where does the time go?
+
+Runs a single driving-workflow request under the host-centric baseline
+and under GROUTER with span tracing enabled, and prints an ASCII Gantt
+chart of each: queueing, input fetches, execution, output publication
+per stage.  The baseline's chart is dominated by ``<`` (fetch) and
+``>`` (publish) bars; GROUTER's is mostly ``#`` (compute).
+
+Run:  python examples/request_anatomy.py
+"""
+
+from repro.dataplane import make_plane
+from repro.platform import ServerlessPlatform
+from repro.sim import Environment
+from repro.topology import make_cluster
+from repro.tracing import SpanTracer
+from repro.workflow import get_workload
+
+
+def trace_one(plane_name):
+    env = Environment()
+    cluster = make_cluster("dgx-v100")
+    plane = make_plane(plane_name, env, cluster)
+    platform = ServerlessPlatform(env, cluster, plane)
+    platform.tracer = SpanTracer()
+    deployment = platform.deploy(get_workload("driving"))
+    proc = platform.submit(deployment)
+    env.run()
+    return platform.tracer, proc.value.request_id
+
+
+def main():
+    for plane_name in ("infless+", "grouter"):
+        tracer, request_id = trace_one(plane_name)
+        print(f"=== {plane_name} ===")
+        print(tracer.gantt(request_id))
+        print(tracer.summary(request_id))
+        print()
+
+
+if __name__ == "__main__":
+    main()

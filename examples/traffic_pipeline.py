@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Traffic-monitoring workflow end to end (the paper's Fig. 1 pipeline).
+
+Deploys the six-stage traffic workflow (CPU decode -> GPU preprocess ->
+YOLO detection -> postprocess -> person/vehicle recognition) on a
+simulated DGX-V100, replays a bursty Azure-style trace against both the
+host-centric baseline and GROUTER, and prints P50/P99 latency plus the
+data-vs-compute breakdown.
+
+Run:  python examples/traffic_pipeline.py
+"""
+
+from repro.common.units import fmt_time
+from repro.dataplane import make_plane
+from repro.experiments.harness import mean_breakdown
+from repro.metrics import LatencyRecorder
+from repro.platform import ServerlessPlatform
+from repro.sim import Environment
+from repro.topology import make_cluster
+from repro.traces import make_trace
+from repro.workflow import get_workload
+
+RATE = 5.0  # mean requests/second
+DURATION = 20.0  # seconds of trace
+
+
+def run(plane_name):
+    env = Environment()
+    cluster = make_cluster("dgx-v100")
+    plane = make_plane(plane_name, env, cluster)
+    platform = ServerlessPlatform(env, cluster, plane)
+    workload = get_workload("traffic")
+    deployment = platform.deploy(workload, batch=16)
+    trace = make_trace("bursty", rate=RATE, duration=DURATION, seed=42)
+    results = platform.run_trace(deployment, trace)
+    return results, workload
+
+
+def main():
+    print("Traffic workflow, bursty trace "
+          f"({RATE:.0f} req/s avg, {DURATION:.0f} s), DGX-V100\n")
+    for plane_name in ("infless+", "grouter"):
+        results, workload = run(plane_name)
+        recorder = LatencyRecorder()
+        recorder.extend([r.latency for r in results])
+        breakdown = mean_breakdown(results, workload.workflow)
+        print(f"[{plane_name}]  {len(results)} requests")
+        print(f"  P50 latency : {fmt_time(recorder.p50)}")
+        print(f"  P99 latency : {fmt_time(recorder.p99)}")
+        print(f"  gFn-gFn data: {fmt_time(breakdown.gfn_gfn)} / request")
+        print(f"  gFn-host    : {fmt_time(breakdown.gfn_host)} / request")
+        print(f"  compute     : {fmt_time(breakdown.compute)} / request")
+        print(f"  data share  : {breakdown.data_fraction:.0%}\n")
+    print("The host-centric plane shuttles every tensor through host "
+          "memory;\nGROUTER keeps data on the GPUs that produced it and "
+          "shrinks the\ndata-passing share of each request by several x.")
+
+
+if __name__ == "__main__":
+    main()

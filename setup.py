@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The sandbox has no network and no ``wheel`` package, so PEP 517 editable
+installs fail; ``python setup.py develop`` (or ``pip install -e .`` on
+machines with wheel) both work through this shim.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

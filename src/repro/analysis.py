@@ -1,0 +1,107 @@
+"""Statistical comparison of experiment results.
+
+Paired comparisons between planes rest on latency samples; the helpers
+here compute bootstrap confidence intervals and speedup summaries so
+EXPERIMENTS.md-style statements ("GROUTER is 2.1x faster, CI [1.9,
+2.3]") are backed by more than a point estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A bootstrap confidence interval for a statistic."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.4g} "
+            f"[{self.low:.4g}, {self.high:.4g}] "
+            f"@{self.confidence:.0%}"
+        )
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic=np.mean,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile-bootstrap CI of *statistic* over *samples*."""
+    if not samples:
+        raise ConfigError("bootstrap needs at least one sample")
+    if not 0 < confidence < 1:
+        raise ConfigError("confidence must be in (0, 1)")
+    data = np.asarray(list(samples), dtype=float)
+    rng = np.random.default_rng(seed)
+    stats = np.empty(resamples)
+    for i in range(resamples):
+        stats[i] = statistic(rng.choice(data, size=data.size, replace=True))
+    alpha = (1 - confidence) / 2
+    return BootstrapCI(
+        estimate=float(statistic(data)),
+        low=float(np.quantile(stats, alpha)),
+        high=float(np.quantile(stats, 1 - alpha)),
+        confidence=confidence,
+    )
+
+
+def speedup_ci(
+    baseline: Sequence[float],
+    treatment: Sequence[float],
+    statistic=np.mean,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Bootstrap CI of ``statistic(baseline) / statistic(treatment)``.
+
+    Values > 1 mean the treatment is faster (lower latency).  Baseline
+    and treatment are resampled independently (unpaired runs).
+    """
+    if not baseline or not treatment:
+        raise ConfigError("speedup needs samples on both sides")
+    base = np.asarray(list(baseline), dtype=float)
+    treat = np.asarray(list(treatment), dtype=float)
+    rng = np.random.default_rng(seed)
+    ratios = np.empty(resamples)
+    for i in range(resamples):
+        b = statistic(rng.choice(base, size=base.size, replace=True))
+        t = statistic(rng.choice(treat, size=treat.size, replace=True))
+        ratios[i] = b / t if t > 0 else np.inf
+    alpha = (1 - confidence) / 2
+    base_stat = float(statistic(base))
+    treat_stat = float(statistic(treat))
+    return BootstrapCI(
+        estimate=base_stat / treat_stat if treat_stat > 0 else float("inf"),
+        low=float(np.quantile(ratios, alpha)),
+        high=float(np.quantile(ratios, 1 - alpha)),
+        confidence=confidence,
+    )
+
+
+def significantly_faster(
+    baseline: Sequence[float],
+    treatment: Sequence[float],
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> bool:
+    """True when the speedup CI excludes 1 (treatment reliably faster)."""
+    ci = speedup_ci(baseline, treatment, confidence=confidence, seed=seed)
+    return ci.low > 1.0

@@ -1,0 +1,270 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show available experiments, data planes, workloads and topologies.
+``run EXPERIMENT``
+    Run one paper experiment (or ``all``) and print/export its tables.
+``topo PRESET``
+    Describe a topology preset (GPUs, links, NICs, asymmetry).
+``workloads``
+    Describe the evaluation workflow suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable
+
+from repro.common.units import GB
+from repro.experiments import (
+    ablations,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    table1,
+)
+from repro.report import FORMATS, render
+
+# name -> (description, full-run callable, quick-run callable).
+# Callables return a list of ExperimentTable.
+EXPERIMENTS: dict[str, tuple[str, Callable, Callable]] = {
+    "fig03": (
+        "host-centric latency breakdown",
+        lambda: [fig03.run_overall(), fig03.run_traffic_batches()],
+        lambda: [fig03.run_overall(workflows=("driving",), duration=6.0)],
+    ),
+    "table1": (
+        "capability matrix of storage approaches",
+        lambda: [table1.run()],
+        lambda: [table1.run()],
+    ),
+    "fig04": (
+        "redundant copies in a chain workflow",
+        lambda: [fig04.run()],
+        lambda: [fig04.run(trials=3)],
+    ),
+    "fig05": (
+        "PCIe interference without partitioning",
+        lambda: [fig05.run()],
+        lambda: [fig05.run(duration=8.0)],
+    ),
+    "fig06": (
+        "DGX-V100 p2p bandwidth matrix",
+        lambda: [fig06.run()],
+        lambda: [fig06.run()],
+    ),
+    "fig07": (
+        "GPU memory under Azure-style trace",
+        lambda: [fig07.run_memory_timeline(), fig07.run_forced_eviction()],
+        lambda: [fig07.run_memory_timeline(duration=8.0)],
+    ),
+    "fig12": (
+        "workflow suite structure",
+        lambda: [fig12.run()],
+        lambda: [fig12.run()],
+    ),
+    "fig13": (
+        "raw data-passing latency (3 patterns)",
+        lambda: fig13.run_all(),
+        lambda: [fig13.run_pattern("intra", sizes_mb=(16, 64), trials=2)],
+    ),
+    "fig14": (
+        "end-to-end P99 latency per workflow",
+        lambda: fig14.run_both_testbeds(),
+        lambda: [fig14.run(workflows=("driving",), duration=8.0)],
+    ),
+    "fig15": (
+        "max sustainable throughput",
+        lambda: [fig15.run()],
+        lambda: [fig15.run(duration=6.0, planes=("infless+", "grouter"))],
+    ),
+    "fig16": (
+        "ablation of UF/BH/TA/ES",
+        lambda: fig16.run_both_testbeds(),
+        lambda: [fig16.run(duration=8.0)],
+    ),
+    "fig17": (
+        "SLO-aware bandwidth partitioning",
+        lambda: [fig17.run()],
+        lambda: [fig17.run(duration=8.0)],
+    ),
+    "fig18": (
+        "elastic storage under memory pressure",
+        lambda: [
+            fig18.run_tail_latency(),
+            fig18.run_memory_sweep(),
+            fig18.run_data_passing(),
+        ],
+        lambda: [fig18.run_tail_latency(duration=8.0)],
+    ),
+    "fig19": (
+        "LLM/MoA TTFT",
+        lambda: [fig19.run_input_lengths(), fig19.run_models_tp()],
+        lambda: [fig19.run_input_lengths(lengths=(2048, 4096))],
+    ),
+    "fig20": (
+        "no-NVLink latency + system overheads",
+        lambda: [
+            fig20.run_a10_latency(),
+            fig20.run_cpu_overhead(),
+            fig20.run_gpu_memory_overhead(),
+        ],
+        lambda: [fig20.run_a10_latency(sizes_mb=(64,), trials=2)],
+    ),
+    "ablations": (
+        "chunk/batch/placement sweeps (beyond the paper)",
+        lambda: [
+            ablations.run_chunk_size_sweep(),
+            ablations.run_batch_size_sweep(),
+            ablations.run_placement_sweep(),
+        ],
+        lambda: [ablations.run_chunk_size_sweep(chunk_sizes_mb=(1, 2, 8))],
+    ),
+}
+
+
+def _cmd_list(_args) -> int:
+    from repro.dataplane import PLANES
+    from repro.topology.node import _SPECS
+    from repro.workflow import WORKLOADS
+
+    print("experiments:")
+    for name, (description, _full, _quick) in EXPERIMENTS.items():
+        print(f"  {name:<10} {description}")
+    print("\ndata planes:   " + ", ".join(sorted(PLANES)))
+    print("workloads:     " + ", ".join(sorted(WORKLOADS)) + ", moa (repro.llm)")
+    print("topologies:    " + ", ".join(sorted(_SPECS)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    names = (
+        list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(EXPERIMENTS)} or 'all'",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        _description, full, quick = EXPERIMENTS[name]
+        tables = quick() if args.quick else full()
+        for index, table in enumerate(tables):
+            text = render(table, args.format)
+            print(text)
+            print()
+            if args.out:
+                os.makedirs(args.out, exist_ok=True)
+                ext = "txt" if args.format == "table" else args.format
+                path = os.path.join(args.out, f"{name}_{index}.{ext}")
+                with open(path, "w") as handle:
+                    handle.write(text + "\n")
+    return 0
+
+
+def _cmd_topo(args) -> int:
+    from repro.topology import NodeTopology, node_spec
+
+    spec = node_spec(args.preset)
+    node = NodeTopology(spec, 0)
+    print(f"{spec.name}: {spec.num_gpus} GPUs x "
+          f"{spec.gpu_memory / GB:.0f} GB")
+    print(f"  PCIe: {spec.pcie_bandwidth / GB:.0f} GB/s per link, "
+          f"switch groups {spec.switch_groups}")
+    print(f"  NICs: {len(node.nics)} x {spec.nic_bandwidth / GB:.1f} GB/s")
+    if node.has_nvswitch:
+        print(f"  NVSwitch: {spec.nvswitch_bandwidth / GB:.0f} GB/s per port")
+    elif node.has_nvlink:
+        pairs = [(a, b) for a in range(spec.num_gpus)
+                 for b in range(a + 1, spec.num_gpus)]
+        linked = [(a, b) for a, b in pairs if node.nvlink_capacity(a, b) > 0]
+        print(f"  NVLink mesh: {len(linked)}/{len(pairs)} pairs linked")
+        for a, b in linked:
+            print(f"    g{a}-g{b}: {node.nvlink_capacity(a, b) / GB:.0f} GB/s")
+    else:
+        print("  no NVLink (PCIe peer-to-peer only)")
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    from repro.workflow import WORKLOADS, get_workload
+
+    for name in WORKLOADS:
+        spec = get_workload(name)
+        workflow = spec.workflow
+        print(f"{name}: {spec.description}")
+        print(f"  stages: {len(workflow)} "
+              f"({len(workflow.gpu_stages())} GPU, "
+              f"{len(workflow.cpu_stages())} CPU), "
+              f"edges: {len(workflow.edges)}")
+        print(f"  input: {spec.input_per_item / (1024 * 1024):.1f} MB/item, "
+              f"default batch {spec.default_batch}")
+    return 0
+
+
+def _cmd_validate(_args) -> int:
+    from repro.validate import run_scorecard
+
+    card = run_scorecard()
+    print(card.format())
+    return 0 if card.passed == card.total else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GROUTER reproduction: run paper experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments, planes, workloads")
+
+    run = sub.add_parser("run", help="run an experiment (or 'all')")
+    run.add_argument("experiment")
+    run.add_argument("--quick", action="store_true",
+                     help="scaled-down parameters")
+    run.add_argument("--format", choices=FORMATS, default="table")
+    run.add_argument("--out", help="directory to write results into")
+
+    topo = sub.add_parser("topo", help="describe a topology preset")
+    topo.add_argument("preset")
+
+    sub.add_parser("workloads", help="describe the workflow suite")
+
+    sub.add_parser(
+        "validate",
+        help="run the claim-by-claim reproduction scorecard (slow)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "topo": _cmd_topo,
+        "workloads": _cmd_workloads,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

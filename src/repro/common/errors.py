@@ -1,0 +1,47 @@
+"""Exception hierarchy for the GROUTER reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid cluster topologies or unknown devices."""
+
+
+class RoutingError(ReproError):
+    """Raised when no transfer path can be found between two devices."""
+
+
+class AllocationError(ReproError):
+    """Raised when GPU or host memory cannot be allocated."""
+
+
+class StorageError(ReproError):
+    """Raised for object-store failures (missing or deleted objects)."""
+
+
+class AccessDeniedError(StorageError):
+    """Raised when a function fails the store's access-control check."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a function cannot be placed on the cluster."""
+
+
+class WorkflowError(ReproError):
+    """Raised for malformed workflow DAGs."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid configuration values."""

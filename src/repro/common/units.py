@@ -1,0 +1,62 @@
+"""Unit constants and helpers.
+
+All simulation times are in **seconds** and all data sizes are in
+**bytes**.  Bandwidths are bytes per second.  These constants keep call
+sites readable (``4 * MB``, ``25 * GB_PER_S``) and are the single place
+where unit conventions are defined.
+"""
+
+from __future__ import annotations
+
+# --- data sizes (bytes) -------------------------------------------------
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# --- times (seconds) ----------------------------------------------------
+US = 1e-6
+MS = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+
+# --- bandwidths (bytes / second) ----------------------------------------
+GB_PER_S = float(GB)
+MB_PER_S = float(MB)
+
+# Network rates are usually quoted in bits per second.
+GBIT_PER_S = 1e9 / 8.0
+
+
+def to_mb(size_bytes: float) -> float:
+    """Convert a byte count to megabytes (for reporting)."""
+    return size_bytes / MB
+
+
+def to_gb(size_bytes: float) -> float:
+    """Convert a byte count to gigabytes (for reporting)."""
+    return size_bytes / GB
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds (for reporting)."""
+    return seconds / MS
+
+
+def fmt_size(size_bytes: float) -> str:
+    """Human-readable size string, e.g. ``'4.0 MB'``."""
+    if size_bytes >= GB:
+        return f"{size_bytes / GB:.1f} GB"
+    if size_bytes >= MB:
+        return f"{size_bytes / MB:.1f} MB"
+    if size_bytes >= KB:
+        return f"{size_bytes / KB:.1f} KB"
+    return f"{size_bytes:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration string, e.g. ``'3.2 ms'``."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= MS:
+        return f"{seconds / MS:.2f} ms"
+    return f"{seconds / US:.1f} us"

@@ -1,0 +1,93 @@
+"""Design-choice ablations beyond the paper's figures.
+
+- chunk-size sweep: GROUTER defaults to 2 MB chunks (§4.3.1); tiny
+  chunks pay per-batch setup, huge chunks delay preemption.
+- batch-size sweep: batches of 5 chunks balance preemption granularity
+  against connection setup (§4.3.2).
+- placement sensitivity: MAPA vs round-robin vs random under the same
+  trace.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import MB
+from repro.dataplane import GRouterPlane
+from repro.experiments.harness import (
+    ExperimentTable,
+    build_testbed,
+    gpu_ctx,
+    mean,
+    measure_put_get,
+    p99,
+    register_probe_workflow,
+)
+from repro.traces import make_trace
+from repro.workflow import get_workload
+
+
+def run_chunk_size_sweep(
+    chunk_sizes_mb=(0.25, 1, 2, 8, 32),
+    transfer_mb: float = 256,
+) -> ExperimentTable:
+    """Data-passing latency vs chunk size (weak V100 pair, multi-path)."""
+    table = ExperimentTable(
+        name="Ablation: chunk size (256 MB, GPU0->GPU5, DGX-V100)",
+        columns=["chunk_mb", "latency_ms"],
+    )
+    for chunk_mb in chunk_sizes_mb:
+        testbed = build_testbed(plane_name="grouter", with_platform=False)
+        testbed.plane.engine.chunk_size = chunk_mb * MB
+        register_probe_workflow(testbed.plane)
+        src = gpu_ctx(testbed, 0, 0)
+        dst = gpu_ctx(testbed, 0, 5, model="person-rec")
+        out = measure_put_get(testbed, src, dst, transfer_mb * MB)
+        table.add(chunk_mb=chunk_mb, latency_ms=out["total"] * 1e3)
+    return table
+
+
+def run_batch_size_sweep(
+    batch_chunks=(1, 2, 5, 10, 25),
+    transfer_mb: float = 256,
+) -> ExperimentTable:
+    """Data-passing latency vs chunks-per-batch."""
+    table = ExperimentTable(
+        name="Ablation: chunks per batch (256 MB, GPU0->GPU3, DGX-V100)",
+        columns=["batch_chunks", "latency_ms"],
+    )
+    for chunks in batch_chunks:
+        testbed = build_testbed(plane_name="grouter", with_platform=False)
+        testbed.plane.engine.batch_chunks = chunks
+        register_probe_workflow(testbed.plane)
+        src = gpu_ctx(testbed, 0, 0)
+        dst = gpu_ctx(testbed, 0, 3, model="person-rec")
+        out = measure_put_get(testbed, src, dst, transfer_mb * MB)
+        table.add(batch_chunks=chunks, latency_ms=out["total"] * 1e3)
+    return table
+
+
+def run_placement_sweep(
+    policies=("mapa", "round-robin", "random"),
+    workflow: str = "driving",
+    rate: float = 4.0,
+    duration: float = 12.0,
+) -> ExperimentTable:
+    """End-to-end latency sensitivity to the placement policy."""
+    table = ExperimentTable(
+        name=f"Ablation: placement policy ({workflow}, GROUTER, DGX-V100)",
+        columns=["policy", "mean_ms", "p99_ms"],
+    )
+    for policy in policies:
+        testbed = build_testbed(
+            plane_name="grouter",
+            platform_kwargs={"placement": policy},
+        )
+        deployment = testbed.platform.deploy(get_workload(workflow))
+        trace = make_trace("bursty", rate=rate, duration=duration, seed=2)
+        results = testbed.platform.run_trace(deployment, trace)
+        latencies = [r.latency for r in results]
+        table.add(
+            policy=policy,
+            mean_ms=mean(latencies) * 1e3,
+            p99_ms=p99(latencies) * 1e3,
+        )
+    return table

@@ -1,0 +1,77 @@
+"""Fig. 3 — host-centric data-passing overhead breakdown.
+
+(a) For each evaluation workflow on INFless+ (DGX-V100), split wall
+time into gFn-gFn passing, gFn-host passing, and computation.  The
+paper reports data passing at ~92% of end-to-end latency (63% gFn-gFn
++ 29% gFn-host).
+
+(b) The same breakdown for the Traffic workflow across batch sizes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import (
+    ExperimentTable,
+    mean_breakdown,
+    run_workload_on_plane,
+)
+from repro.workflow import WORKLOADS
+
+DEFAULT_WORKFLOWS = tuple(WORKLOADS)
+DEFAULT_BATCHES = (1, 4, 8, 16, 32)
+
+
+def run_overall(
+    workflows=DEFAULT_WORKFLOWS,
+    rate: float = 3.0,
+    duration: float = 10.0,
+) -> ExperimentTable:
+    """Fig. 3(a): per-workflow latency breakdown on INFless+."""
+    table = ExperimentTable(
+        name="Fig 3(a): host-centric latency breakdown (INFless+, DGX-V100)",
+        columns=[
+            "workflow", "gfn_gfn_ms", "gfn_host_ms", "compute_ms",
+            "data_fraction",
+        ],
+    )
+    for workflow_name in workflows:
+        _tb, results, workload = run_workload_on_plane(
+            "infless+", workflow_name, rate=rate, duration=duration,
+        )
+        b = mean_breakdown(results, workload.workflow)
+        table.add(
+            workflow=workflow_name,
+            gfn_gfn_ms=b.gfn_gfn * 1e3,
+            gfn_host_ms=(b.gfn_host + b.cfn_cfn) * 1e3,
+            compute_ms=b.compute * 1e3,
+            data_fraction=b.data_fraction,
+        )
+    return table
+
+
+def run_traffic_batches(
+    batches=DEFAULT_BATCHES,
+    rate: float = 3.0,
+    duration: float = 10.0,
+) -> ExperimentTable:
+    """Fig. 3(b): Traffic breakdown across batch sizes."""
+    table = ExperimentTable(
+        name="Fig 3(b): Traffic workflow breakdown vs batch size (INFless+)",
+        columns=[
+            "batch", "gfn_gfn_ms", "gfn_host_ms", "compute_ms",
+            "data_fraction",
+        ],
+    )
+    for batch in batches:
+        _tb, results, workload = run_workload_on_plane(
+            "infless+", "traffic", rate=rate, duration=duration, batch=batch,
+        )
+        b = mean_breakdown(results, workload.workflow)
+        table.add(
+            batch=batch,
+            gfn_gfn_ms=b.gfn_gfn * 1e3,
+            gfn_host_ms=(b.gfn_host + b.cfn_cfn) * 1e3,
+            compute_ms=b.compute * 1e3,
+            data_fraction=b.data_fraction,
+        )
+    return table

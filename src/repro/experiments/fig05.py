@@ -1,0 +1,84 @@
+"""Fig. 5(b) — PCIe interference between co-located workflows.
+
+Parallel PCIe transfers (DeepPlan-style, no partitioning) help each
+workflow when run alone, but co-locating the latency-critical *driving*
+workflow with the transfer-intensive *video* workflow inflates
+driving's gFn-host latency (3.65x in the paper) because video grabs
+most PCIe bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import (
+    ExperimentTable,
+    build_testbed,
+    mean_breakdown,
+)
+from repro.traces import make_trace
+from repro.workflow import get_workload
+
+
+def _driving_gfn_host(results, workload) -> float:
+    """Per-request gFn-host time of the driving workflow only."""
+    return mean_breakdown(results, workload.workflow).gfn_host
+
+
+def _run_alone(workflow_name: str, rate: float, duration: float,
+               plane_name: str) -> float:
+    testbed = build_testbed(plane_name=plane_name)
+    workload = get_workload(workflow_name)
+    deployment = testbed.platform.deploy(workload)
+    trace = make_trace("bursty", rate=rate, duration=duration, seed=1)
+    results = testbed.platform.run_trace(deployment, trace)
+    return _driving_gfn_host(results, workload)
+
+
+# The video workflow is the transfer-intensive aggressor: several of
+# its functions load chunks simultaneously, so it is driven at a higher
+# request rate than the latency-critical driving workflow.
+VIDEO_RATE_FACTOR = 4.0
+
+
+def _run_together(rate: float, duration: float, plane_name: str) -> dict:
+    testbed = build_testbed(plane_name=plane_name)
+    driving = get_workload("driving")
+    video = get_workload("video")
+    dep_driving = testbed.platform.deploy(driving)
+    dep_video = testbed.platform.deploy(video)
+    trace_a = make_trace("bursty", rate=rate, duration=duration, seed=1)
+    trace_b = make_trace(
+        "bursty", rate=rate * VIDEO_RATE_FACTOR, duration=duration, seed=2
+    )
+    results = testbed.platform.run_traces(
+        [(dep_driving, trace_a), (dep_video, trace_b)]
+    )
+    driving_results = results[dep_driving.workflow_id]
+    return {"combined": _driving_gfn_host(driving_results, driving)}
+
+
+def run(rate: float = 4.0, duration: float = 12.0,
+        plane_name: str = "deepplan+") -> ExperimentTable:
+    """Fig. 5(b): gFn-host latency, alone vs co-located."""
+    table = ExperimentTable(
+        name="Fig 5(b): PCIe interference (parallel transfers, no partitioning)",
+        columns=["scenario", "gfn_host_ms", "slowdown_vs_driving_alone"],
+    )
+    driving_alone = _run_alone("driving", rate, duration, plane_name)
+    video_alone = _run_alone("video", rate, duration, plane_name)
+    together = _run_together(rate, duration, plane_name)["combined"]
+    table.add(
+        scenario="driving alone",
+        gfn_host_ms=driving_alone * 1e3,
+        slowdown_vs_driving_alone=1.0,
+    )
+    table.add(
+        scenario="video alone",
+        gfn_host_ms=video_alone * 1e3,
+        slowdown_vs_driving_alone=None,
+    )
+    table.add(
+        scenario="driving + video co-located",
+        gfn_host_ms=together * 1e3,
+        slowdown_vs_driving_alone=together / driving_alone,
+    )
+    return table

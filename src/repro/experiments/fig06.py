@@ -1,0 +1,66 @@
+"""Fig. 6(a) — point-to-point bandwidth between DGX-V100 GPU pairs.
+
+Measures achieved bandwidth for a large transfer between every GPU pair
+using the best direct route (NVLink where present, PCIe peer-to-peer
+otherwise).  Reproduces the paper's asymmetry statistics: 8/28 pairs at
+double bandwidth, 8/28 at single-link bandwidth, 12/28 NVLink-less.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import GB
+from repro.experiments.harness import ExperimentTable, build_testbed
+from repro.net import single_flow_event
+from repro.topology.paths import gpu_p2p_pcie_path, nvlink_direct_path
+
+
+def measure_pair_bandwidth(preset: str = "dgx-v100",
+                           size: float = 1 * GB) -> dict[tuple[int, int], float]:
+    """Achieved GB/s for each (a, b) GPU pair via the direct route."""
+    results: dict[tuple[int, int], float] = {}
+    testbed = build_testbed(preset=preset, with_platform=False)
+    node = testbed.cluster.nodes[0]
+    n = len(node.gpus)
+    for a in range(n):
+        for b in range(n):
+            if a == b:
+                continue
+            path = nvlink_direct_path(node, node.gpu(a), node.gpu(b))
+            if path is None:
+                path = gpu_p2p_pcie_path(node, node.gpu(a), node.gpu(b))
+            start = testbed.env.now
+            event = single_flow_event(
+                testbed.plane.network, path, size, tag=f"probe-{a}-{b}"
+            )
+            testbed.env.run()
+            duration = event.value.finished_at - start
+            results[(a, b)] = (size / duration) / GB
+    return results
+
+
+def run(preset: str = "dgx-v100") -> ExperimentTable:
+    """Fig. 6(a): the pairwise bandwidth matrix plus asymmetry stats."""
+    bandwidth = measure_pair_bandwidth(preset)
+    n = max(a for a, _b in bandwidth) + 1
+    table = ExperimentTable(
+        name=f"Fig 6(a): p2p bandwidth matrix ({preset}, GB/s)",
+        columns=["gpu"] + [f"g{b}" for b in range(n)],
+    )
+    for a in range(n):
+        row = {"gpu": f"g{a}"}
+        for b in range(n):
+            row[f"g{b}"] = bandwidth.get((a, b))
+        table.add(**row)
+    values = sorted(set(round(v, 1) for v in bandwidth.values()))
+    pairs = [(a, b) for (a, b) in bandwidth if a < b]
+    tiers = {
+        tier: sum(
+            1 for (a, b) in pairs if round(bandwidth[(a, b)], 1) == tier
+        )
+        for tier in values
+    }
+    table.notes = (
+        "bandwidth tiers (GB/s -> pair count): "
+        + ", ".join(f"{t}: {c}" for t, c in tiers.items())
+    )
+    return table

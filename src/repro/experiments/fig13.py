@@ -1,0 +1,101 @@
+"""Fig. 13 — raw data-passing latency between two functions.
+
+Three patterns, each swept over data sizes and the four planes:
+
+(a) intra-node gFn-gFn (paper: GROUTER -95% vs INFless+, -75% vs
+    NVSHMEM+/DeepPlan+),
+(b) host-gFn (−63%/−63%/−75%),
+(c) inter-node gFn-gFn (−91%/−87%/−87%).
+"""
+
+from __future__ import annotations
+
+from repro.common.units import MB
+from repro.experiments.harness import (
+    ExperimentTable,
+    build_testbed,
+    cpu_ctx,
+    gpu_ctx,
+    measure_put_get,
+    register_probe_workflow,
+)
+
+PLANES = ("infless+", "nvshmem+", "deepplan+", "grouter")
+DEFAULT_SIZES_MB = (4, 16, 64, 256)
+
+
+def _measure(plane_name: str, pattern: str, size: float,
+             preset: str, seed: int = 11) -> float:
+    num_nodes = 2 if pattern == "inter" else 1
+    testbed = build_testbed(
+        preset=preset,
+        num_nodes=num_nodes,
+        plane_name=plane_name,
+        with_platform=False,
+        plane_kwargs={"seed": seed} if plane_name != "infless+" else None,
+    )
+    register_probe_workflow(testbed.plane)
+    if pattern == "intra":
+        src = gpu_ctx(testbed, 0, 0)
+        dst = gpu_ctx(testbed, 0, 3, model="person-rec")
+    elif pattern == "host":
+        src = cpu_ctx(testbed, 0)  # data starts in host memory
+        dst = gpu_ctx(testbed, 0, 0)
+    elif pattern == "inter":
+        src = gpu_ctx(testbed, 0, 0)
+        dst = gpu_ctx(testbed, 1, 0, model="person-rec")
+    else:
+        raise ValueError(f"unknown pattern {pattern!r}")
+    out = measure_put_get(testbed, src, dst, size)
+    return out["total"]
+
+
+def run_pattern(
+    pattern: str,
+    sizes_mb=DEFAULT_SIZES_MB,
+    preset: str = "dgx-v100",
+    planes=PLANES,
+    trials: int = 3,
+) -> ExperimentTable:
+    """One Fig. 13 panel: latency vs size for every plane.
+
+    Randomized planes (NVSHMEM+/DeepPlan+ storage placement) are
+    averaged over *trials* seeds.
+    """
+    titles = {
+        "intra": "Fig 13(a): intra-node gFn-gFn data passing (DGX-V100)",
+        "host": "Fig 13(b): host-gFn data passing",
+        "inter": "Fig 13(c): inter-node gFn-gFn data passing",
+    }
+    table = ExperimentTable(
+        name=titles[pattern],
+        columns=["size_mb"] + [f"{p}_ms" for p in planes]
+        + ["grouter_reduction_vs_best_baseline"],
+    )
+    for size_mb in sizes_mb:
+        row = {"size_mb": size_mb}
+        for plane in planes:
+            samples = [
+                _measure(plane, pattern, size_mb * MB, preset, seed=11 + t)
+                for t in range(trials)
+            ]
+            row[f"{plane}_ms"] = sum(samples) / len(samples) * 1e3
+        baselines = [
+            row[f"{p}_ms"] for p in planes if p != "grouter"
+        ]
+        if "grouter" in planes and baselines:
+            best = min(baselines)
+            row["grouter_reduction_vs_best_baseline"] = (
+                1 - row["grouter_ms"] / best
+            )
+        table.add(**row)
+    return table
+
+
+def run_all(sizes_mb=DEFAULT_SIZES_MB, preset: str = "dgx-v100"):
+    """All three panels."""
+    return [
+        run_pattern("intra", sizes_mb, preset),
+        run_pattern("host", sizes_mb, preset),
+        run_pattern("inter", sizes_mb, preset),
+    ]

@@ -1,0 +1,55 @@
+"""Fig. 14 — end-to-end P99 latency under production traces.
+
+Every evaluation workflow x every plane x both testbeds (DGX-V100 and
+DGX-A100).  The paper reports GROUTER cutting P99 by 61%/48%/54% vs
+INFless+/NVSHMEM+/DeepPlan+ on V100, and 53%/36%/30% on A100 (where
+DeepPlan+ overtakes NVSHMEM+ thanks to the symmetric topology).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import (
+    ExperimentTable,
+    p99,
+    run_workload_on_plane,
+)
+from repro.workflow import WORKLOADS
+
+PLANES = ("infless+", "nvshmem+", "deepplan+", "grouter")
+
+
+def run(
+    preset: str = "dgx-v100",
+    workflows=tuple(WORKLOADS),
+    planes=PLANES,
+    pattern: str = "bursty",
+    rate: float = 4.0,
+    duration: float = 15.0,
+) -> ExperimentTable:
+    """One testbed's panel of Fig. 14."""
+    table = ExperimentTable(
+        name=f"Fig 14: end-to-end P99 latency ({preset}, {pattern} trace)",
+        columns=["workflow"] + [f"{p}_p99_ms" for p in planes]
+        + ["grouter_reduction_vs_infless"],
+    )
+    for workflow_name in workflows:
+        row = {"workflow": workflow_name}
+        for plane in planes:
+            _tb, results, _wl = run_workload_on_plane(
+                plane, workflow_name, preset=preset,
+                pattern=pattern, rate=rate, duration=duration,
+            )
+            row[f"{plane}_p99_ms"] = p99([r.latency for r in results]) * 1e3
+        row["grouter_reduction_vs_infless"] = (
+            1 - row["grouter_p99_ms"] / row["infless+_p99_ms"]
+        )
+        table.add(**row)
+    return table
+
+
+def run_both_testbeds(**kwargs):
+    """Fig. 14 on DGX-V100 and DGX-A100."""
+    return [
+        run(preset="dgx-v100", **kwargs),
+        run(preset="dgx-a100", **kwargs),
+    ]

@@ -1,0 +1,118 @@
+"""Fig. 15 — maximum sustainable throughput.
+
+Binary-search the highest constant request rate at which P99 latency
+stays within 2x the unloaded latency.  Intra-node places the whole
+workflow on one server; cross-node alternates consecutive stages across
+two servers, forcing every gFn-gFn edge over the network.
+
+Paper: intra-node GROUTER beats INFless+/NVSHMEM+/DeepPlan+ by
+2.1x/1.74x/1.37x; cross-node by 2.73x/1.55x/1.39x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.harness import build_testbed, ExperimentTable, p99
+from repro.metrics import find_max_throughput
+from repro.traces import Trace, TraceConfig
+from repro.workflow import get_workload
+
+PLANES = ("infless+", "nvshmem+", "deepplan+", "grouter")
+
+
+def _uniform_trace(rate: float, duration: float) -> Trace:
+    count = max(1, int(rate * duration))
+    arrivals = np.linspace(0.0, duration, count, endpoint=False)
+    config = TraceConfig(
+        pattern="sporadic", rate=rate, duration=duration, seed=0
+    )
+    return Trace(config=config, arrivals=arrivals)
+
+
+def _deploy(testbed, workload_name: str, cross_node: bool):
+    workload = get_workload(workload_name)
+    allowed = None
+    if cross_node:
+        nodes = testbed.cluster.nodes
+        allowed = []
+        for i in range(len(nodes[0].gpus)):
+            for node in nodes:
+                allowed.append(node.gpu(i))
+    return testbed.platform.deploy(workload, allowed_gpus=allowed)
+
+
+def _unloaded_latency(plane_name: str, workload_name: str, preset: str,
+                      cross_node: bool) -> float:
+    testbed = build_testbed(
+        preset=preset,
+        num_nodes=2 if cross_node else 1,
+        plane_name=plane_name,
+        platform_kwargs={
+            "placement": "round-robin" if cross_node else "mapa"
+        },
+    )
+    deployment = _deploy(testbed, workload_name, cross_node)
+    proc = testbed.platform.submit(deployment)
+    testbed.env.run()
+    return proc.value.latency
+
+
+def _sustainable(plane_name: str, workload_name: str, preset: str,
+                 cross_node: bool, rate: float, slo: float,
+                 duration: float) -> bool:
+    testbed = build_testbed(
+        preset=preset,
+        num_nodes=2 if cross_node else 1,
+        plane_name=plane_name,
+        platform_kwargs={
+            "placement": "round-robin" if cross_node else "mapa"
+        },
+    )
+    deployment = _deploy(testbed, workload_name, cross_node)
+    trace = _uniform_trace(rate, duration)
+    results = testbed.platform.run_trace(deployment, trace, drain=30.0)
+    if len(results) < len(trace):
+        return False  # some requests never finished: unstable
+    return p99([r.latency for r in results]) <= slo
+
+
+def max_throughput(plane_name: str, workload_name: str = "driving",
+                   preset: str = "dgx-v100", cross_node: bool = False,
+                   duration: float = 10.0, high: float = 60.0) -> float:
+    """Highest sustainable request rate for one plane."""
+    unloaded = _unloaded_latency(
+        plane_name, workload_name, preset, cross_node
+    )
+    slo = 2.0 * unloaded
+
+    def probe(rate: float) -> bool:
+        return _sustainable(
+            plane_name, workload_name, preset, cross_node, rate, slo,
+            duration,
+        )
+
+    return find_max_throughput(probe, low=0.5, high=high, tolerance=0.08)
+
+
+def run(workload_name: str = "driving", preset: str = "dgx-v100",
+        planes=PLANES, duration: float = 10.0) -> ExperimentTable:
+    """Fig. 15: throughput per plane, intra- and cross-node."""
+    table = ExperimentTable(
+        name=f"Fig 15: max throughput ({workload_name}, {preset}, req/s)",
+        columns=["scenario"] + [f"{p}_rps" for p in planes]
+        + ["grouter_speedup_vs_infless"],
+    )
+    for cross_node, label in ((False, "intra-node"), (True, "cross-node")):
+        row = {"scenario": label}
+        for plane in planes:
+            row[f"{plane}_rps"] = max_throughput(
+                plane, workload_name, preset, cross_node, duration
+            )
+        row["grouter_speedup_vs_infless"] = (
+            row["grouter_rps"] / row["infless+_rps"]
+            if row["infless+_rps"] > 0
+            else float("inf")
+        )
+        table.add(**row)
+    return table

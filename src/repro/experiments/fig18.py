@@ -1,0 +1,140 @@
+"""Fig. 18 — elastic GPU storage under memory pressure.
+
+Four systems under a bursty workload with GPU storage capped:
+
+- **INFless+** — host storage (no GPU residency at all),
+- **LRU** — GPU storage with LRU eviction (what NVSHMEM+ inherits),
+- **RQ** — request-queue-aware eviction, no proactive restore,
+- **GROUTER** — queue-aware eviction + proactive migration/restore.
+
+Panels: (a) latency distribution under a tight storage cap, (b) sweep
+of the memory ratio, (c) average per-request data-passing time.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentTable, build_testbed, mean, p99
+from repro.metrics import LatencyRecorder
+from repro.traces import make_trace
+from repro.workflow import get_workload
+
+SYSTEMS = ("infless+", "lru", "rq", "grouter")
+
+
+def _plane_config(system: str, fraction: float) -> tuple[str, dict]:
+    if system == "infless+":
+        return "infless+", {}
+    if system == "lru":
+        return "grouter", {
+            "storage_limit_fraction": fraction,
+            "eviction_policy": "lru",
+            "proactive_restore": False,
+        }
+    if system == "rq":
+        return "grouter", {
+            "storage_limit_fraction": fraction,
+            "eviction_policy": "queue-aware",
+            "proactive_restore": False,
+        }
+    return "grouter", {
+        "storage_limit_fraction": fraction,
+        "eviction_policy": "queue-aware",
+        "proactive_restore": True,
+    }
+
+
+def _run(system: str, fraction: float, workflow: str, rate: float,
+         duration: float):
+    plane_name, plane_kwargs = _plane_config(system, fraction)
+    testbed = build_testbed(
+        plane_name=plane_name, plane_kwargs=plane_kwargs
+    )
+    deployment = testbed.platform.deploy(get_workload(workflow))
+    trace = make_trace("bursty", rate=rate, duration=duration, seed=9)
+    results = testbed.platform.run_trace(deployment, trace)
+    return testbed, results
+
+
+def run_tail_latency(
+    fraction: float = 0.06,
+    workflow: str = "driving",
+    rate: float = 10.0,
+    duration: float = 15.0,
+) -> ExperimentTable:
+    """Fig. 18(a): latency distribution under a tight storage cap."""
+    table = ExperimentTable(
+        name=f"Fig 18(a): latency under {fraction:.0%} GPU storage",
+        columns=["system", "p50_ms", "p99_ms", "reduction_vs_infless_p99"],
+    )
+    baseline_p99 = None
+    for system in SYSTEMS:
+        _tb, results = _run(system, fraction, workflow, rate, duration)
+        recorder = LatencyRecorder(system)
+        recorder.extend([r.latency for r in results])
+        if system == "infless+":
+            baseline_p99 = recorder.p99
+        table.add(
+            system=system,
+            p50_ms=recorder.p50 * 1e3,
+            p99_ms=recorder.p99 * 1e3,
+            reduction_vs_infless_p99=(
+                1 - recorder.p99 / baseline_p99
+                if baseline_p99
+                else None
+            ),
+        )
+    return table
+
+
+def run_memory_sweep(
+    fractions=(0.01, 0.05, 0.1, 0.2),
+    workflow: str = "driving",
+    rate: float = 10.0,
+    duration: float = 12.0,
+) -> ExperimentTable:
+    """Fig. 18(b): end-to-end latency across memory ratios."""
+    table = ExperimentTable(
+        name="Fig 18(b): P99 latency vs available memory ratio",
+        columns=["memory_fraction"] + [f"{s}_p99_ms" for s in SYSTEMS],
+    )
+    for fraction in fractions:
+        row = {"memory_fraction": fraction}
+        for system in SYSTEMS:
+            _tb, results = _run(system, fraction, workflow, rate, duration)
+            row[f"{system}_p99_ms"] = p99(
+                [r.latency for r in results]
+            ) * 1e3
+        table.add(**row)
+    return table
+
+
+def run_data_passing(
+    fraction: float = 0.06,
+    workflow: str = "driving",
+    rate: float = 10.0,
+    duration: float = 15.0,
+) -> ExperimentTable:
+    """Fig. 18(c): average per-request data-passing time.
+
+    Measured uniformly as each request's total get+put wall time, which
+    captures the cost of re-fetching migrated data from host memory —
+    the quantity the eviction policy controls.
+    """
+    table = ExperimentTable(
+        name="Fig 18(c): avg data-passing time under memory pressure",
+        columns=["system", "data_ms", "reduction_vs_infless"],
+    )
+    baseline = None
+    for system in SYSTEMS:
+        _testbed, results = _run(system, fraction, workflow, rate, duration)
+        value = mean([r.data_time for r in results])
+        if system == "infless+":
+            baseline = value
+        table.add(
+            system=system,
+            data_ms=value * 1e3,
+            reduction_vs_infless=(
+                1 - value / baseline if baseline else None
+            ),
+        )
+    return table

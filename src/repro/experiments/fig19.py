@@ -1,0 +1,71 @@
+"""Fig. 19 — TTFT for LLM (Mixture-of-Agents) KV-cache passing.
+
+(a) Receiver TTFT vs input length on 8xH800 nodes (paper at 4K: −66%
+vs INFless+, −57% vs Mooncake+).
+
+(b) TTFT across models and tensor-parallel degrees (paper averages:
+−36% / −28%); Mooncake's gap narrows as TP grows because it starts
+using multiple NICs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentTable
+from repro.llm import get_llm, ttft
+
+SYSTEMS = ("infless+", "mooncake+", "grouter")
+DEFAULT_LENGTHS = (1024, 2048, 4096, 8192, 16384)
+DEFAULT_MODELS = ("llama-7b", "llama-13b", "llama-70b")
+DEFAULT_TPS = (1, 2, 4, 8)
+
+
+def run_input_lengths(
+    model: str = "llama-7b",
+    lengths=DEFAULT_LENGTHS,
+    tp: int = 8,
+) -> ExperimentTable:
+    """Fig. 19(a): TTFT vs input length."""
+    spec = get_llm(model)
+    table = ExperimentTable(
+        name=f"Fig 19(a): TTFT vs input length ({model}, TP={tp}, 8xH800)",
+        columns=["input_tokens"] + [f"{s}_ms" for s in SYSTEMS]
+        + ["grouter_reduction_vs_infless", "grouter_reduction_vs_mooncake"],
+    )
+    for tokens in lengths:
+        row = {"input_tokens": tokens}
+        for system in SYSTEMS:
+            row[f"{system}_ms"] = ttft(system, spec, tokens, tp) * 1e3
+        row["grouter_reduction_vs_infless"] = (
+            1 - row["grouter_ms"] / row["infless+_ms"]
+        )
+        row["grouter_reduction_vs_mooncake"] = (
+            1 - row["grouter_ms"] / row["mooncake+_ms"]
+        )
+        table.add(**row)
+    return table
+
+
+def run_models_tp(
+    models=DEFAULT_MODELS,
+    tps=DEFAULT_TPS,
+    input_tokens: int = 4096,
+) -> ExperimentTable:
+    """Fig. 19(b): TTFT across models and TP degrees."""
+    table = ExperimentTable(
+        name=f"Fig 19(b): TTFT across models and TP (input={input_tokens})",
+        columns=["model", "tp"] + [f"{s}_ms" for s in SYSTEMS]
+        + ["grouter_reduction_vs_mooncake"],
+    )
+    for model in models:
+        spec = get_llm(model)
+        for tp in tps:
+            row = {"model": model, "tp": tp}
+            for system in SYSTEMS:
+                row[f"{system}_ms"] = (
+                    ttft(system, spec, input_tokens, tp) * 1e3
+                )
+            row["grouter_reduction_vs_mooncake"] = (
+                1 - row["grouter_ms"] / row["mooncake+_ms"]
+            )
+            table.add(**row)
+    return table

@@ -1,0 +1,131 @@
+"""Fig. 20 — applicability (no NVLink) and system overheads.
+
+(a) Data-passing latency between GPU functions on a 4xA10 server with
+no NVLink: GROUTER still wins (~51% in the paper) because placement
+awareness halves the PCIe copies; NVSHMEM+ degenerates to INFless+
+levels.
+
+(b) CPU overhead of the control plane: catalog lookups, ACL checks,
+monitoring — estimated as op-counts times per-op cost over the run.
+
+(c) GPU memory overhead of storage: NVSHMEM's symmetric allocation and
+static pooling versus GROUTER's demand-scaled pools.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import GB, MB, US
+from repro.dataplane.nvshmem import SYMMETRIC_TAG
+from repro.experiments.harness import (
+    ExperimentTable,
+    build_testbed,
+    gpu_ctx,
+    measure_put_get,
+    mean,
+    register_probe_workflow,
+)
+from repro.traces import make_trace
+from repro.workflow import get_workload
+
+PLANES = ("infless+", "nvshmem+", "deepplan+", "grouter")
+
+# Control-plane CPU cost model: microseconds of one core per operation.
+CPU_COST_PER_OP = 20 * US
+
+
+def run_a10_latency(sizes_mb=(16, 64, 256), trials: int = 3) -> ExperimentTable:
+    """Fig. 20(a): gFn-gFn data passing on a 4xA10 (no NVLink) server."""
+    table = ExperimentTable(
+        name="Fig 20(a): gFn-gFn data passing on 4xA10 (no NVLink)",
+        columns=["size_mb"] + [f"{p}_ms" for p in PLANES]
+        + ["grouter_reduction"],
+    )
+    for size_mb in sizes_mb:
+        row = {"size_mb": size_mb}
+        for plane in PLANES:
+            samples = []
+            for t in range(trials):
+                testbed = build_testbed(
+                    preset="a10", plane_name=plane, with_platform=False,
+                    plane_kwargs=(
+                        {"seed": 21 + t} if plane != "infless+" else None
+                    ),
+                )
+                register_probe_workflow(testbed.plane)
+                src = gpu_ctx(testbed, 0, 0)
+                dst = gpu_ctx(testbed, 0, 2, model="person-rec")
+                out = measure_put_get(testbed, src, dst, size_mb * MB)
+                samples.append(out["total"])
+            row[f"{plane}_ms"] = mean(samples) * 1e3
+        best_baseline = min(
+            row[f"{p}_ms"] for p in PLANES if p != "grouter"
+        )
+        row["grouter_reduction"] = 1 - row["grouter_ms"] / best_baseline
+        table.add(**row)
+    return table
+
+
+def run_cpu_overhead(rate: float = 4.0, duration: float = 15.0) -> ExperimentTable:
+    """Fig. 20(b): control-plane CPU overhead per plane."""
+    table = ExperimentTable(
+        name="Fig 20(b): control-plane CPU overhead",
+        columns=["plane", "control_ops", "acl_checks", "global_lookups",
+                 "cpu_core_fraction"],
+        notes=f"cost model: {CPU_COST_PER_OP * 1e6:.0f}us of one core per op",
+    )
+    for plane_name in ("infless+", "grouter"):
+        testbed = build_testbed(plane_name=plane_name)
+        deployment = testbed.platform.deploy(get_workload("traffic"))
+        trace = make_trace("bursty", rate=rate, duration=duration, seed=3)
+        testbed.platform.run_trace(deployment, trace)
+        plane = testbed.plane
+        ops = (
+            plane.metrics.control_ops
+            + plane.acl.checked_count
+            + plane.catalog.stats.registrations
+            + plane.catalog.stats.global_lookups
+        )
+        wall = testbed.env.now
+        table.add(
+            plane=plane_name,
+            control_ops=plane.metrics.control_ops,
+            acl_checks=plane.acl.checked_count,
+            global_lookups=plane.catalog.stats.global_lookups,
+            cpu_core_fraction=ops * CPU_COST_PER_OP / wall,
+        )
+    return table
+
+
+def run_gpu_memory_overhead(rate: float = 4.0,
+                            duration: float = 15.0) -> ExperimentTable:
+    """Fig. 20(c): GPU memory consumed by the storage layer."""
+    table = ExperimentTable(
+        name="Fig 20(c): GPU memory overhead of storage",
+        columns=["plane", "peak_pool_gb", "peak_symmetric_gb",
+                 "final_reserved_gb"],
+    )
+    for plane_name in ("nvshmem+", "deepplan+", "grouter"):
+        testbed = build_testbed(
+            plane_name=plane_name,
+            plane_kwargs={"record_timelines": True},
+        )
+        deployment = testbed.platform.deploy(get_workload("traffic"))
+        trace = make_trace("bursty", rate=rate, duration=duration, seed=3)
+        testbed.platform.run_trace(deployment, trace)
+        # Let elastic pools trim after the trace drains.
+        testbed.env.run(until=testbed.env.now + 60.0)
+        plane = testbed.plane
+        peak_pool = sum(p.peak_reserved for p in plane.pools.values())
+        peak_symmetric = 0.0
+        for memory in plane.device_memory.values():
+            peaks = [
+                s.by_tag.get(SYMMETRIC_TAG, 0.0) for s in memory.timeline
+            ]
+            peak_symmetric += max(peaks, default=0.0)
+        table.add(
+            plane=plane_name,
+            peak_pool_gb=peak_pool / GB,
+            peak_symmetric_gb=peak_symmetric / GB,
+            final_reserved_gb=plane.total_pool_reserved() / GB,
+        )
+    return table

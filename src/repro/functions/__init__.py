@@ -1,0 +1,24 @@
+"""Serverless functions: specs, profiled model zoo, instances."""
+
+from repro.functions.instance import ExecutionRecord, FnContext, FunctionInstance
+from repro.functions.profiles import MODEL_ZOO, get_spec
+from repro.functions.spec import (
+    SPEED_FACTORS,
+    ComputeProfile,
+    DeviceKind,
+    FunctionSpec,
+    OutputModel,
+)
+
+__all__ = [
+    "ExecutionRecord",
+    "FnContext",
+    "FunctionInstance",
+    "MODEL_ZOO",
+    "get_spec",
+    "SPEED_FACTORS",
+    "ComputeProfile",
+    "DeviceKind",
+    "FunctionSpec",
+    "OutputModel",
+]

@@ -1,0 +1,136 @@
+"""Model zoo: profiled function specs for the evaluation workflows.
+
+Latency figures approximate published V100 measurements for the models
+the paper's workflows use (YOLO detection, ResNet recognition, U-Net
+segmentation, face detection/recognition, classification ensembles);
+other GPU generations scale via :data:`repro.functions.spec.SPEED_FACTORS`.
+Output sizes model the intermediate tensors exchanged between stages —
+the quantity that actually drives the data-plane experiments.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.common.units import GB, KB, MB, MS
+from repro.functions.spec import (
+    ComputeProfile,
+    DeviceKind,
+    FunctionSpec,
+    OutputModel,
+)
+
+# Raw decoded/preprocessed frame sizes (bytes per batch item).
+DECODED_FRAME = 24 * MB  # 1080p RGB float32
+PREPROCESSED_FRAME = 4.8 * MB  # 640x640x3 float32
+SEG_MASK = 8 * MB
+COLORED_FRAME = 24 * MB
+CROP_BUNDLE = 1.5 * MB  # detected-object crops per frame
+FACE_CROPS = 1 * MB
+FEATURE_VECTOR = 4 * KB
+
+
+def _gpu(name, base_ms, per_item_ms, output, footprint, per_mb_ms=0.0):
+    return FunctionSpec(
+        name=name,
+        kind=DeviceKind.GPU,
+        compute=ComputeProfile(
+            base_latency=base_ms * MS,
+            per_item_latency=per_item_ms * MS,
+            per_mb_latency=per_mb_ms * MS,
+        ),
+        output=output,
+        memory_footprint=footprint,
+    )
+
+
+def _cpu(name, base_ms, per_item_ms, output):
+    return FunctionSpec(
+        name=name,
+        kind=DeviceKind.CPU,
+        compute=ComputeProfile(
+            base_latency=base_ms * MS, per_item_latency=per_item_ms * MS
+        ),
+        output=output,
+    )
+
+
+MODEL_ZOO: dict[str, FunctionSpec] = {
+    # -- CPU data processing ----------------------------------------------
+    "video-decode": _cpu(
+        "video-decode", 8.0, 2.0, OutputModel(per_item=DECODED_FRAME)
+    ),
+    "chunk-split": _cpu(
+        "chunk-split", 2.0, 0.3, OutputModel(per_item=DECODED_FRAME)
+    ),
+    "result-aggregate": _cpu(
+        "result-aggregate", 1.5, 0.1, OutputModel(base=8 * KB)
+    ),
+    # -- GPU pre/post processing (CV-CUDA) ----------------------------------
+    "gpu-preprocess": _gpu(
+        "gpu-preprocess", 0.5, 0.15,
+        OutputModel(per_item=PREPROCESSED_FRAME), 0.2 * GB, per_mb_ms=0.01,
+    ),
+    "gpu-postprocess": _gpu(
+        "gpu-postprocess", 0.5, 0.1, OutputModel(factor=1.0), 0.1 * GB
+    ),
+    "gpu-denoise": _gpu(
+        "gpu-denoise", 2.0, 0.5,
+        OutputModel(per_item=DECODED_FRAME), 0.3 * GB,
+    ),
+    "gpu-colorize": _gpu(
+        "gpu-colorize", 0.5, 0.2,
+        OutputModel(per_item=COLORED_FRAME), 0.1 * GB,
+    ),
+    # -- detection / segmentation models -------------------------------------
+    "yolo-det": _gpu(
+        "yolo-det", 4.0, 3.0, OutputModel(per_item=CROP_BUNDLE), 0.5 * GB
+    ),
+    "unet-seg": _gpu(
+        "unet-seg", 4.0, 2.5, OutputModel(per_item=SEG_MASK), 0.6 * GB
+    ),
+    "face-det": _gpu(
+        "face-det", 3.0, 1.5, OutputModel(per_item=FACE_CROPS), 0.4 * GB
+    ),
+    # -- recognition / classification models --------------------------------
+    "person-rec": _gpu(
+        "person-rec", 2.0, 0.8, OutputModel(per_item=FEATURE_VECTOR), 0.3 * GB
+    ),
+    "car-rec": _gpu(
+        "car-rec", 2.0, 0.8, OutputModel(per_item=FEATURE_VECTOR), 0.3 * GB
+    ),
+    "face-rec": _gpu(
+        "face-rec", 2.0, 0.7, OutputModel(per_item=FEATURE_VECTOR), 0.3 * GB
+    ),
+    "resnext-cls": _gpu(
+        "resnext-cls", 2.0, 1.0, OutputModel(per_item=FEATURE_VECTOR), 0.35 * GB
+    ),
+    "efficientnet-cls": _gpu(
+        "efficientnet-cls", 1.8, 0.9, OutputModel(per_item=FEATURE_VECTOR),
+        0.3 * GB,
+    ),
+    "inception-cls": _gpu(
+        "inception-cls", 2.2, 1.1, OutputModel(per_item=FEATURE_VECTOR),
+        0.35 * GB,
+    ),
+    # -- multi-stage recognition service (Astraea-style) ---------------------
+    "audio-feature": _gpu(
+        "audio-feature", 2.0, 0.8, OutputModel(per_item=512 * KB), 0.25 * GB
+    ),
+    "visual-feature": _gpu(
+        "visual-feature", 2.5, 1.0, OutputModel(per_item=768 * KB), 0.3 * GB
+    ),
+    "joint-recognition": _gpu(
+        "joint-recognition", 3.0, 1.0, OutputModel(per_item=FEATURE_VECTOR),
+        0.4 * GB,
+    ),
+}
+
+
+def get_spec(name: str) -> FunctionSpec:
+    """Look up a model-zoo spec by name."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown model {name!r}; choose from {sorted(MODEL_ZOO)}"
+        ) from None

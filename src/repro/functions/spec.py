@@ -1,0 +1,120 @@
+"""Function specifications and compute/output models.
+
+Serverless inference mixes *GPU functions* (gFns) running DNN models and
+*CPU functions* (cFns) doing data processing (§2.2).  Because DNN
+inference latency is highly predictable (§4.3.2 cites this to justify
+offline profiling), each function carries a :class:`ComputeProfile`
+fitted as ``base + per_item * batch + per_mb * input_megabytes``, scaled
+by the GPU generation's speed factor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.common.units import MB
+
+
+class DeviceKind(enum.Enum):
+    """Where a function executes."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+# Relative inference speed of each GPU generation (V100 = 1).
+SPEED_FACTORS = {
+    "dgx-v100": 1.0,
+    "dgx-a100": 2.5,
+    "h800": 4.0,
+    "a10": 0.9,
+}
+
+
+@dataclass(frozen=True)
+class ComputeProfile:
+    """Profiled execution-latency model for one function."""
+
+    base_latency: float
+    per_item_latency: float = 0.0
+    per_mb_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0 or self.per_item_latency < 0 or self.per_mb_latency < 0:
+            raise ConfigError("latency components must be non-negative")
+
+    def latency(
+        self, batch: int = 1, input_bytes: float = 0.0, speed_factor: float = 1.0
+    ) -> float:
+        """Predicted execution latency for one invocation."""
+        if batch < 1:
+            raise ConfigError(f"batch must be >= 1, got {batch}")
+        raw = (
+            self.base_latency
+            + self.per_item_latency * batch
+            + self.per_mb_latency * (input_bytes / MB)
+        )
+        return raw / speed_factor
+
+
+@dataclass(frozen=True)
+class OutputModel:
+    """Size of the intermediate data a function emits.
+
+    ``size = base + per_item * batch + factor * input_bytes``
+    """
+
+    base: float = 0.0
+    per_item: float = 0.0
+    factor: float = 0.0
+
+    def size(self, batch: int = 1, input_bytes: float = 0.0) -> float:
+        value = self.base + self.per_item * batch + self.factor * input_bytes
+        return max(1.0, value)
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A deployable serverless function."""
+
+    name: str
+    kind: DeviceKind
+    compute: ComputeProfile
+    output: OutputModel
+    # GPU memory held while the instance is warm (weights + workspace).
+    memory_footprint: float = 0.0
+    # Latency SLO; per GPUlet/SHEPHERD convention the platform defaults
+    # this to 1.5-2x the profiled execution time when unset (§4.3.2).
+    slo: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is DeviceKind.CPU and self.memory_footprint > 0:
+            raise ConfigError(
+                f"{self.name}: CPU functions hold no GPU memory footprint"
+            )
+        if self.slo is not None and self.slo <= 0:
+            raise ConfigError(f"{self.name}: SLO must be positive")
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind is DeviceKind.GPU
+
+    def execution_latency(
+        self, batch: int = 1, input_bytes: float = 0.0, speed_factor: float = 1.0
+    ) -> float:
+        return self.compute.latency(batch, input_bytes, speed_factor)
+
+    def output_size(self, batch: int = 1, input_bytes: float = 0.0) -> float:
+        return self.output.size(batch, input_bytes)
+
+    def default_slo(
+        self, batch: int = 1, input_bytes: float = 0.0, speed_factor: float = 1.0,
+        multiplier: float = 1.5,
+    ) -> float:
+        """SLO = multiplier x profiled execution latency (GPUlet style)."""
+        if self.slo is not None:
+            return self.slo
+        return multiplier * self.execution_latency(batch, input_bytes, speed_factor)

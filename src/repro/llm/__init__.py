@@ -1,0 +1,35 @@
+"""LLM layer: KV-cache transfer systems and the MoA workflow."""
+
+from repro.llm.moa import MoaConfig, MoaResult, run_moa
+from repro.llm.models import LLM_ZOO, LlmSpec, get_llm
+from repro.llm.systems import (
+    KV_SYSTEMS,
+    GRouterKvSystem,
+    InflessKvSystem,
+    KvTransferStats,
+    KvTransferSystem,
+    MooncakeKvSystem,
+    make_kv_system,
+    measure_kv_transfer,
+    recompute_ttft,
+    ttft,
+)
+
+__all__ = [
+    "MoaConfig",
+    "MoaResult",
+    "run_moa",
+    "LLM_ZOO",
+    "LlmSpec",
+    "get_llm",
+    "KV_SYSTEMS",
+    "GRouterKvSystem",
+    "InflessKvSystem",
+    "KvTransferStats",
+    "KvTransferSystem",
+    "MooncakeKvSystem",
+    "make_kv_system",
+    "measure_kv_transfer",
+    "recompute_ttft",
+    "ttft",
+]

@@ -1,0 +1,117 @@
+"""Mixture-of-Agents workflow over KV-cache passing (paper §6.4).
+
+MoA runs L layers of A agents each; every agent in layer *l* consumes
+the prompt + response KV caches of all layer *l-1* agents as auxiliary
+context.  Layers live on separate 8xH800 nodes, so each layer boundary
+moves ``A x A`` caches across the network — concurrently, which is
+where NIC contention (and GROUTER's harvesting) matters.
+
+The model here runs the real transfer systems on one shared flow
+network, so concurrent agent fetches contend for NICs exactly as the
+hardware would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.llm.models import LlmSpec, get_llm
+from repro.llm.systems import make_kv_system
+from repro.sim.core import Environment
+from repro.topology.cluster import make_cluster
+
+
+@dataclass(frozen=True)
+class MoaConfig:
+    """One Mixture-of-Agents deployment."""
+
+    model: str = "llama-7b"
+    layers: int = 3
+    agents_per_layer: int = 3
+    input_tokens: int = 2048
+    response_tokens: int = 256
+    tp: int = 8
+    delta_tokens: int = 128  # each agent's own instruction prompt
+
+    def __post_init__(self) -> None:
+        if self.layers < 2:
+            raise ConfigError("MoA needs at least two layers")
+        if self.agents_per_layer < 1:
+            raise ConfigError("need at least one agent per layer")
+
+    @property
+    def spec(self) -> LlmSpec:
+        return get_llm(self.model)
+
+    @property
+    def context_tokens(self) -> int:
+        """Tokens whose KV is handed to the next layer per agent."""
+        return self.input_tokens + self.response_tokens
+
+
+@dataclass
+class MoaResult:
+    """Per-layer TTFT and end-to-end latency of one MoA pass."""
+
+    config: MoaConfig
+    layer_ttfts: list[float] = field(default_factory=list)
+    total_latency: float = 0.0
+
+    @property
+    def mean_ttft(self) -> float:
+        return sum(self.layer_ttfts) / len(self.layer_ttfts)
+
+
+def run_moa(system_name: str, config: MoaConfig, seed: int = 7) -> MoaResult:
+    """Execute one MoA pass over the given KV transfer system.
+
+    Layer 0 prefills from scratch; each later layer fetches all
+    upstream agents' caches concurrently, prefills its delta, and
+    generates its response.  TTFT per layer is the receiver-side time
+    from layer start to first decoded token.
+    """
+    env = Environment()
+    cluster = make_cluster("h800", num_nodes=config.layers)
+    system = make_kv_system(system_name, env, cluster, seed=seed)
+    spec = config.spec
+    result = MoaResult(config=config)
+
+    def pipeline():
+        # Layer 0: plain prefill of the user prompt + generation.
+        yield env.timeout(spec.prefill_latency(config.input_tokens, config.tp))
+        yield env.timeout(config.response_tokens * spec.decode_step_latency)
+        for layer in range(1, config.layers):
+            layer_start = env.now
+            # Every agent pulls every upstream agent's cache. With A
+            # agents per layer that is A*A concurrent transfers over
+            # the same node pair's NICs.
+            fetches = []
+            for _dst_agent in range(config.agents_per_layer):
+                for _src_agent in range(config.agents_per_layer):
+                    fetches.append(
+                        system.transfer(
+                            spec,
+                            config.context_tokens,
+                            config.tp,
+                            src_node=layer - 1,
+                            dst_node=layer,
+                        )
+                    )
+            yield env.all_of(fetches)
+            yield env.timeout(
+                spec.prefill_latency(config.delta_tokens, config.tp)
+            )
+            yield env.timeout(spec.decode_step_latency)
+            result.layer_ttfts.append(env.now - layer_start)
+            # Rest of this layer's response generation.
+            yield env.timeout(
+                (config.response_tokens - 1) * spec.decode_step_latency
+            )
+
+    done = env.process(pipeline())
+    env.run()
+    if not done.ok:
+        raise ConfigError("MoA pipeline failed")
+    result.total_latency = env.now
+    return result

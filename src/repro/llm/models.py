@@ -1,0 +1,97 @@
+"""LLM specs and KV-cache sizing (paper §6.4).
+
+The LLM evaluation passes prompt/response KV caches between
+Mixture-of-Agents stages to avoid recomputation.  KV size per token is
+``2 (K+V) x layers x kv_heads x head_dim x dtype_bytes``; tensor
+parallelism shards it evenly across the TP group's GPUs.
+
+Prefill throughput figures are effective tokens/s for one H800 at TP=1,
+scaled linearly with TP (communication overhead folded into the
+constant), which is the granularity the TTFT experiment needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import MS
+
+
+@dataclass(frozen=True)
+class LlmSpec:
+    """One served LLM."""
+
+    name: str
+    num_layers: int
+    num_kv_heads: int
+    head_dim: int
+    dtype_bytes: int = 2  # fp16/bf16
+    prefill_tokens_per_s: float = 10_000.0  # per GPU at TP=1
+    decode_step_latency: float = 30 * MS
+
+    def kv_bytes_per_token(self) -> float:
+        """Full (unsharded) KV bytes for one token."""
+        return (
+            2
+            * self.num_layers
+            * self.num_kv_heads
+            * self.head_dim
+            * self.dtype_bytes
+        )
+
+    def kv_bytes(self, tokens: int, tp: int = 1) -> float:
+        """Per-shard KV bytes for a sequence under tensor parallelism."""
+        if tokens < 0:
+            raise ConfigError(f"negative token count {tokens}")
+        if tp < 1:
+            raise ConfigError(f"tp must be >= 1, got {tp}")
+        return self.kv_bytes_per_token() * tokens / tp
+
+    def total_kv_bytes(self, tokens: int) -> float:
+        return self.kv_bytes_per_token() * tokens
+
+    def prefill_latency(self, tokens: int, tp: int = 1) -> float:
+        """Time to prefill *tokens* with a TP-*tp* group."""
+        if tokens <= 0:
+            return 0.0
+        return tokens / (self.prefill_tokens_per_s * tp)
+
+
+# GQA-style configs approximating popular open models.
+LLM_ZOO: dict[str, LlmSpec] = {
+    "llama-7b": LlmSpec(
+        name="llama-7b",
+        num_layers=32,
+        num_kv_heads=32,
+        head_dim=128,
+        prefill_tokens_per_s=18_000.0,
+        decode_step_latency=18 * MS,
+    ),
+    "llama-13b": LlmSpec(
+        name="llama-13b",
+        num_layers=40,
+        num_kv_heads=40,
+        head_dim=128,
+        prefill_tokens_per_s=11_000.0,
+        decode_step_latency=26 * MS,
+    ),
+    "llama-70b": LlmSpec(
+        name="llama-70b",
+        num_layers=80,
+        num_kv_heads=8,  # GQA
+        head_dim=128,
+        prefill_tokens_per_s=2_600.0,
+        decode_step_latency=55 * MS,
+    ),
+}
+
+
+def get_llm(name: str) -> LlmSpec:
+    """Look up an LLM spec by name."""
+    try:
+        return LLM_ZOO[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown LLM {name!r}; choose from {sorted(LLM_ZOO)}"
+        ) from None

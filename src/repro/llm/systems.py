@@ -1,0 +1,289 @@
+"""Cross-node KV-cache transfer systems (paper §6.4).
+
+MoA stages run on separate 8xH800 nodes; the receiver LLM needs the
+sender's prompt+response KV cache.  Three transfer systems:
+
+- **INFless+** — host-centric: every TP shard drains to host memory,
+  the cache crosses the network host-to-host on one NIC, then stages
+  back up to the receiver's shards.  Three copies, one NIC.
+- **Mooncake+** — a KV-cache store that is not placement-aware: shards
+  bounce through randomly chosen storage GPUs on both nodes.  The NIC
+  parallelism it achieves equals the number of distinct storage GPUs'
+  switches — it grows with TP, which is exactly the paper's "as TP
+  increases, Mooncake begins using multiple NICs".
+- **GROUTER** — locality-aware direct GDR: shard-to-shard transfers
+  with NIC harvesting; the full cache moves once over every NIC.
+
+TTFT for the receiver = KV transfer + prefill of its own delta tokens +
+one decode step (DroidSpeak-style accounting).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.llm.models import LlmSpec
+from repro.net.network import FlowNetwork
+from repro.net.transfer import Path, TransferEngine
+from repro.routing.harvest import parallel_nic_paths
+from repro.sim.core import Environment
+from repro.topology.cluster import ClusterTopology, make_cluster
+from repro.topology.devices import Gpu
+from repro.topology.paths import (
+    cross_node_gdr_path,
+    gpu_to_host_path,
+    host_to_gpu_path,
+    host_to_host_path,
+    nvlink_direct_path,
+)
+
+
+@dataclass
+class KvTransferStats:
+    """Outcome of one KV-cache hand-off."""
+
+    latency: float
+    bytes_on_wire: float  # total bytes that crossed any link
+    copies: int  # device-to-device copies of the cache
+
+
+class KvTransferSystem(abc.ABC):
+    """Moves one sequence's KV cache from node 0's TP group to node 1's."""
+
+    name = "abstract"
+
+    def __init__(self, env: Environment, cluster: ClusterTopology,
+                 seed: int = 7) -> None:
+        if len(cluster.nodes) < 2:
+            raise ConfigError("KV transfer needs at least two nodes")
+        self.env = env
+        self.cluster = cluster
+        self.network = FlowNetwork(env)
+        self.engine = TransferEngine(env, self.network)
+        self._rng = random.Random(seed)
+
+    def shards(self, node_index: int, tp: int) -> list[Gpu]:
+        node = self.cluster.nodes[node_index]
+        if tp > len(node.gpus):
+            raise ConfigError(f"tp={tp} exceeds {len(node.gpus)} GPUs")
+        return [node.gpu(i) for i in range(tp)]
+
+    def transfer(self, spec: LlmSpec, tokens: int, tp: int,
+                 src_node: int = 0, dst_node: int = 1):
+        """Process moving the cache; yields :class:`KvTransferStats`."""
+        return self.env.process(self._transfer(spec, tokens, tp, src_node, dst_node))
+
+    @abc.abstractmethod
+    def _transfer(self, spec: LlmSpec, tokens: int, tp: int,
+                  src_node: int, dst_node: int):
+        ...
+
+    def _parallel(self, transfers: list) -> "object":
+        return self.env.all_of(transfers)
+
+
+class InflessKvSystem(KvTransferSystem):
+    """Host-centric: GPU -> host -> (one NIC) -> host -> GPU."""
+
+    name = "infless+"
+
+    def _transfer(self, spec: LlmSpec, tokens: int, tp: int,
+                  src_index: int, dst_index: int):
+        started = self.env.now
+        total = spec.total_kv_bytes(tokens)
+        shard_bytes = spec.kv_bytes(tokens, tp)
+        src_node = self.cluster.nodes[src_index]
+        dst_node = self.cluster.nodes[dst_index]
+        down = [
+            self.engine.transfer(
+                [gpu_to_host_path(src_node, gpu)], shard_bytes, tag="kv-d2h"
+            )
+            for gpu in self.shards(src_index, tp)
+        ]
+        yield self._parallel(down)
+        yield self.engine.transfer(
+            [host_to_host_path(self.cluster, src_node, dst_node)],
+            total,
+            tag="kv-h2h",
+        )
+        up = [
+            self.engine.transfer(
+                [host_to_gpu_path(dst_node, gpu)], shard_bytes, tag="kv-h2d"
+            )
+            for gpu in self.shards(dst_index, tp)
+        ]
+        yield self._parallel(up)
+        return KvTransferStats(
+            latency=self.env.now - started,
+            bytes_on_wire=3 * total,
+            copies=3,
+        )
+
+
+class MooncakeKvSystem(KvTransferSystem):
+    """Placement-unaware KV store: random storage-GPU bounces."""
+
+    name = "mooncake+"
+
+    def _transfer(self, spec: LlmSpec, tokens: int, tp: int,
+                  src_index: int, dst_index: int):
+        started = self.env.now
+        total = spec.total_kv_bytes(tokens)
+        shard_bytes = spec.kv_bytes(tokens, tp)
+        src_node = self.cluster.nodes[src_index]
+        dst_node = self.cluster.nodes[dst_index]
+        src_stores = [self._rng.choice(src_node.gpus) for _ in range(tp)]
+        dst_stores = [self._rng.choice(dst_node.gpus) for _ in range(tp)]
+
+        # Copy 1: shard -> local storage GPU (skipped when co-located).
+        hops = []
+        for gpu, store in zip(self.shards(src_index, tp), src_stores):
+            if gpu.device_id == store.device_id:
+                continue
+            hops.append(
+                self.engine.transfer(
+                    [nvlink_direct_path(src_node, gpu, store)],
+                    shard_bytes,
+                    tag="kv-store-in",
+                )
+            )
+        if hops:
+            yield self._parallel(hops)
+
+        # Copy 2: storage GPU -> remote storage GPU over its own NIC.
+        wire = []
+        for store, remote in zip(src_stores, dst_stores):
+            wire.append(
+                self.engine.transfer(
+                    [cross_node_gdr_path(self.cluster, store, remote)],
+                    shard_bytes,
+                    tag="kv-wire",
+                )
+            )
+        yield self._parallel(wire)
+
+        # Copy 3: remote storage GPU -> destination shard.
+        out = []
+        for remote, gpu in zip(dst_stores, self.shards(dst_index, tp)):
+            if remote.device_id == gpu.device_id:
+                continue
+            out.append(
+                self.engine.transfer(
+                    [nvlink_direct_path(dst_node, remote, gpu)],
+                    shard_bytes,
+                    tag="kv-store-out",
+                )
+            )
+        if out:
+            yield self._parallel(out)
+        return KvTransferStats(
+            latency=self.env.now - started,
+            bytes_on_wire=3 * total,
+            copies=3,
+        )
+
+
+class GRouterKvSystem(KvTransferSystem):
+    """Locality-aware direct GDR with NIC harvesting."""
+
+    name = "grouter"
+
+    def _transfer(self, spec: LlmSpec, tokens: int, tp: int,
+                  src_index: int, dst_index: int):
+        started = self.env.now
+        total = spec.total_kv_bytes(tokens)
+        shard_bytes = spec.kv_bytes(tokens, tp)
+        src_shards = self.shards(src_index, tp)
+        dst_shards = self.shards(dst_index, tp)
+        if tp == 1:
+            # One shard: harvest every NIC for the single transfer.
+            paths = parallel_nic_paths(
+                self.cluster, src_shards[0], dst_shards[0],
+                topology_aware=True,
+            )
+            yield self.engine.transfer(paths, total, chunked=True, tag="kv")
+        else:
+            # Shard-to-shard direct GDR; each shard additionally
+            # harvests the NIC lanes its mirror pair can reach.
+            transfers = []
+            for src, dst in zip(src_shards, dst_shards):
+                paths = [cross_node_gdr_path(self.cluster, src, dst)]
+                transfers.append(
+                    self.engine.transfer(
+                        paths, shard_bytes, chunked=True, tag="kv"
+                    )
+                )
+            yield self._parallel(transfers)
+        return KvTransferStats(
+            latency=self.env.now - started,
+            bytes_on_wire=total,
+            copies=1,
+        )
+
+
+KV_SYSTEMS = {
+    InflessKvSystem.name: InflessKvSystem,
+    MooncakeKvSystem.name: MooncakeKvSystem,
+    GRouterKvSystem.name: GRouterKvSystem,
+}
+
+
+def make_kv_system(name: str, env: Environment, cluster: ClusterTopology,
+                   seed: int = 7) -> KvTransferSystem:
+    """Instantiate a KV transfer system by evaluation name."""
+    try:
+        return KV_SYSTEMS[name](env, cluster, seed=seed)
+    except KeyError:
+        raise ConfigError(
+            f"unknown KV system {name!r}; choose from {sorted(KV_SYSTEMS)}"
+        ) from None
+
+
+def measure_kv_transfer(
+    system_name: str,
+    spec: LlmSpec,
+    tokens: int,
+    tp: int,
+    num_nodes: int = 2,
+    seed: int = 7,
+) -> KvTransferStats:
+    """One-shot KV transfer measurement on a fresh H800 cluster."""
+    env = Environment()
+    cluster = make_cluster("h800", num_nodes=num_nodes)
+    system = make_kv_system(system_name, env, cluster, seed=seed)
+    proc = system.transfer(spec, tokens, tp)
+    env.run()
+    return proc.value
+
+
+def ttft(
+    system_name: str,
+    spec: LlmSpec,
+    input_tokens: int,
+    tp: int,
+    delta_tokens: int = 128,
+    seed: int = 7,
+) -> float:
+    """Receiver-LLM time-to-first-token with KV reuse.
+
+    TTFT = KV transfer + prefill of the receiver's own *delta_tokens* +
+    one decode step.  ``recompute_ttft`` gives the no-reuse baseline.
+    """
+    stats = measure_kv_transfer(system_name, spec, input_tokens, tp, seed=seed)
+    return (
+        stats.latency
+        + spec.prefill_latency(delta_tokens, tp)
+        + spec.decode_step_latency
+    )
+
+
+def recompute_ttft(spec: LlmSpec, input_tokens: int, tp: int,
+                   delta_tokens: int = 128) -> float:
+    """TTFT when the receiver re-prefills the whole prompt (no KV pass)."""
+    return (
+        spec.prefill_latency(input_tokens + delta_tokens, tp)
+        + spec.decode_step_latency
+    )

@@ -1,0 +1,32 @@
+"""GPU memory: device accounting, pools, elastic scaling, eviction."""
+
+from repro.memory.device import AllocationCostModel, DeviceMemory, MemorySample
+from repro.memory.elastic import (
+    DEFAULT_MIN_POOL,
+    ElasticPoolManager,
+    FunctionHistogram,
+)
+from repro.memory.eviction import (
+    EvictionCandidate,
+    EvictionPolicy,
+    LruPolicy,
+    QueueAwarePolicy,
+    make_policy,
+)
+from repro.memory.pool import MemoryPool, PoolAllocation
+
+__all__ = [
+    "AllocationCostModel",
+    "DeviceMemory",
+    "MemorySample",
+    "DEFAULT_MIN_POOL",
+    "ElasticPoolManager",
+    "FunctionHistogram",
+    "EvictionCandidate",
+    "EvictionPolicy",
+    "LruPolicy",
+    "QueueAwarePolicy",
+    "make_policy",
+    "MemoryPool",
+    "PoolAllocation",
+]

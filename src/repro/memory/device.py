@@ -1,0 +1,116 @@
+"""Per-GPU device memory accounting.
+
+Tracks who holds how many bytes of a GPU's memory (model weights,
+activations, the storage pool, ...) and records a usage timeline so
+experiments can plot memory pressure over time (paper Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import AllocationError
+from repro.common.units import GB, MS
+from repro.sim.core import Environment
+
+
+@dataclass(frozen=True)
+class AllocationCostModel:
+    """Latency model for raw device allocations.
+
+    ``cudaMalloc``/``cudaFree`` are millisecond-scale (§4.4.1); pool
+    hits cost microseconds.  Values are configurable for ablations.
+    """
+
+    malloc_base: float = 0.5 * MS
+    malloc_per_gb: float = 0.2 * MS
+    free_base: float = 0.3 * MS
+    pool_hit: float = 5e-6
+
+    def malloc_latency(self, size: float) -> float:
+        return self.malloc_base + self.malloc_per_gb * (size / GB)
+
+    def free_latency(self, size: float) -> float:
+        return self.free_base
+
+
+@dataclass
+class MemorySample:
+    """One point on a GPU's memory usage timeline."""
+
+    time: float
+    used: float
+    by_tag: dict[str, float]
+
+
+class DeviceMemory:
+    """Byte-counted memory of one GPU, attributed per tag."""
+
+    def __init__(
+        self,
+        env: Environment,
+        device_id: str,
+        capacity: float,
+        record_timeline: bool = False,
+    ) -> None:
+        if capacity <= 0:
+            raise AllocationError(f"{device_id}: capacity must be positive")
+        self.env = env
+        self.device_id = device_id
+        self.capacity = capacity
+        self._by_tag: dict[str, float] = {}
+        self.record_timeline = record_timeline
+        self.timeline: list[MemorySample] = []
+
+    @property
+    def used(self) -> float:
+        return sum(self._by_tag.values())
+
+    @property
+    def free(self) -> float:
+        return self.capacity - self.used
+
+    def used_by(self, tag: str) -> float:
+        return self._by_tag.get(tag, 0.0)
+
+    def reserve(self, tag: str, size: float) -> None:
+        """Claim *size* bytes under *tag*; raises if the GPU is full."""
+        if size < 0:
+            raise AllocationError(f"negative reservation {size}")
+        if size > self.free + 1e-6:
+            raise AllocationError(
+                f"{self.device_id}: out of memory "
+                f"(want {size:.0f}, free {self.free:.0f})"
+            )
+        self._by_tag[tag] = self._by_tag.get(tag, 0.0) + size
+        self._record()
+
+    def release(self, tag: str, size: float) -> None:
+        """Return *size* bytes held under *tag*."""
+        held = self._by_tag.get(tag, 0.0)
+        if size > held + 1e-6:
+            raise AllocationError(
+                f"{self.device_id}: release of {size:.0f} exceeds "
+                f"{held:.0f} held by {tag!r}"
+            )
+        remaining = held - size
+        if remaining <= 1e-9:
+            self._by_tag.pop(tag, None)
+        else:
+            self._by_tag[tag] = remaining
+        self._record()
+
+    def can_fit(self, size: float) -> bool:
+        return size <= self.free + 1e-6
+
+    def _record(self) -> None:
+        if self.record_timeline:
+            self.timeline.append(
+                MemorySample(self.env.now, self.used, dict(self._by_tag))
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<DeviceMemory {self.device_id} "
+            f"{self.used / GB:.2f}/{self.capacity / GB:.1f} GB>"
+        )

@@ -1,0 +1,114 @@
+"""Eviction / migration victim selection (paper §4.4.2).
+
+When GPU memory pressure forces intermediate data out of GPU storage,
+the policy decides *which* objects move to host memory:
+
+- :class:`LruPolicy` — least-recently-used, what NVSHMEM+-style systems
+  inherit from DNN-training memory managers.  It ignores the request
+  queue, so data needed by the very next function can be evicted.
+- :class:`QueueAwarePolicy` — GROUTER's strategy: objects whose next
+  consumer sits deepest in the request queue (or is not queued at all)
+  are evicted first, keeping imminent data resident.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class EvictionCandidate:
+    """A resident object the policy may choose to migrate.
+
+    ``queue_position`` is the index of the *earliest* queued invocation
+    that will consume this object (0 = next to run); ``None`` means no
+    queued consumer is known.
+    """
+
+    object_id: str
+    size: float
+    last_access: float
+    queue_position: Optional[int] = None
+    pinned: bool = False
+
+
+class EvictionPolicy(abc.ABC):
+    """Strategy interface: pick victims totalling at least *needed* bytes."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def rank(self, candidates: Sequence[EvictionCandidate]) -> list[EvictionCandidate]:
+        """Order candidates most-evictable first."""
+
+    def select(
+        self, candidates: Sequence[EvictionCandidate], needed: float
+    ) -> list[EvictionCandidate]:
+        """Greedy prefix of :meth:`rank` covering *needed* bytes.
+
+        Pinned candidates are never selected.  May return less than
+        *needed* when the candidates run out.
+        """
+        victims: list[EvictionCandidate] = []
+        total = 0.0
+        for candidate in self.rank(
+            [c for c in candidates if not c.pinned]
+        ):
+            if total >= needed:
+                break
+            victims.append(candidate)
+            total += candidate.size
+        return victims
+
+
+class LruPolicy(EvictionPolicy):
+    """Evict the least recently accessed objects first."""
+
+    name = "lru"
+
+    def rank(self, candidates: Sequence[EvictionCandidate]) -> list[EvictionCandidate]:
+        return sorted(candidates, key=lambda c: (c.last_access, c.object_id))
+
+
+class QueueAwarePolicy(EvictionPolicy):
+    """Evict objects consumed furthest in the future first (GROUTER).
+
+    Objects with no queued consumer go first; then consumers deepest in
+    the queue; LRU breaks ties.
+    """
+
+    name = "queue-aware"
+
+    def rank(self, candidates: Sequence[EvictionCandidate]) -> list[EvictionCandidate]:
+        def key(candidate: EvictionCandidate):
+            # No consumer -> evict before any queued object.
+            has_consumer = candidate.queue_position is not None
+            depth = candidate.queue_position if has_consumer else -1
+            # Deeper queue position = safer to evict = ranked earlier,
+            # so sort by -depth; unqueued (-1 -> +inf surrogate) first.
+            return (
+                0 if not has_consumer else 1,
+                -depth,
+                candidate.last_access,
+                candidate.object_id,
+            )
+
+        return sorted(candidates, key=key)
+
+
+POLICIES = {
+    LruPolicy.name: LruPolicy,
+    QueueAwarePolicy.name: QueueAwarePolicy,
+}
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    """Instantiate an eviction policy by name (``lru``/``queue-aware``)."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown eviction policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None

@@ -1,0 +1,15 @@
+"""Statistics utilities: latency recorders, timelines, throughput search."""
+
+from repro.metrics.stats import (
+    LatencyRecorder,
+    SloTracker,
+    Timeline,
+    find_max_throughput,
+)
+
+__all__ = [
+    "LatencyRecorder",
+    "SloTracker",
+    "Timeline",
+    "find_max_throughput",
+]

@@ -1,0 +1,156 @@
+"""Latency/throughput statistics helpers used across experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+class LatencyRecorder:
+    """Accumulates latency samples and reports percentiles."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._samples: list[float] = []
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ConfigError(f"negative latency sample {value}")
+        self._samples.append(value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    def percentile(self, p: float) -> float:
+        if not self._samples:
+            return float("nan")
+        return float(np.percentile(self._samples, p))
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._samples)) if self._samples else float("nan")
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else float("nan")
+
+    def cdf(self, points: int = 100) -> tuple[list[float], list[float]]:
+        """(latency, cumulative fraction) pairs for CDF plots."""
+        if not self._samples:
+            return [], []
+        ordered = sorted(self._samples)
+        fractions = [(i + 1) / len(ordered) for i in range(len(ordered))]
+        if len(ordered) <= points:
+            return ordered, fractions
+        idx = np.linspace(0, len(ordered) - 1, points).astype(int)
+        return [ordered[i] for i in idx], [fractions[i] for i in idx]
+
+
+@dataclass
+class Timeline:
+    """A time series of (t, value) samples (memory usage, rates, ...)."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def sample(self, t: float, value: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ConfigError("timeline samples must be time-ordered")
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def peak(self) -> float:
+        return max(self.values) if self.values else float("nan")
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    def value_at(self, t: float) -> float:
+        """Step-function lookup: the last sample at or before *t*."""
+        if not self.times:
+            return float("nan")
+        idx = int(np.searchsorted(self.times, t, side="right")) - 1
+        if idx < 0:
+            return float("nan")
+        return self.values[idx]
+
+
+@dataclass
+class SloTracker:
+    """Counts SLO hits and misses."""
+
+    attained: int = 0
+    violated: int = 0
+
+    def observe(self, latency: float, slo: float) -> None:
+        if latency <= slo:
+            self.attained += 1
+        else:
+            self.violated += 1
+
+    @property
+    def total(self) -> int:
+        return self.attained + self.violated
+
+    @property
+    def attainment(self) -> float:
+        if self.total == 0:
+            return float("nan")
+        return self.attained / self.total
+
+
+def find_max_throughput(
+    is_sustainable: Callable[[float], bool],
+    low: float,
+    high: float,
+    tolerance: float = 0.05,
+    max_iterations: int = 12,
+) -> float:
+    """Binary-search the highest sustainable offered load.
+
+    ``is_sustainable(rate)`` runs the system at *rate* and reports
+    whether it kept up (SLOs met / queues stable).  Assumes a monotone
+    boundary.  Returns the highest rate found sustainable.
+    """
+    if low <= 0 or high <= low:
+        raise ConfigError("need 0 < low < high")
+    if not is_sustainable(low):
+        return 0.0
+    best = low
+    if is_sustainable(high):
+        return high
+    for _ in range(max_iterations):
+        mid = (low + high) / 2
+        if is_sustainable(mid):
+            best = mid
+            low = mid
+        else:
+            high = mid
+        if (high - low) / max(best, 1e-12) < tolerance:
+            break
+    return best

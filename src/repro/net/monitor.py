@@ -1,0 +1,87 @@
+"""Periodic link-utilization sampling.
+
+GROUTER's control plane "continuously monitors and updates global
+bandwidth usage in real time" (§4.3.3).  This monitor is the
+observability side of that: it samples each watched link's allocated
+rate on a fixed period into a :class:`~repro.metrics.Timeline`, so
+experiments can plot PCIe/NIC saturation over a run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.common.errors import ConfigError
+from repro.metrics.stats import Timeline
+from repro.net.links import Link
+from repro.net.network import FlowNetwork
+from repro.sim.core import Environment
+
+
+class LinkUtilizationMonitor:
+    """Samples utilization (allocated/capacity) of watched links."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: FlowNetwork,
+        links: Iterable[Link],
+        interval: float = 0.01,
+        horizon: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigError("sampling interval must be positive")
+        self.env = env
+        self.network = network
+        self.links = list(links)
+        if not self.links:
+            raise ConfigError("monitor needs at least one link")
+        self.interval = interval
+        self.horizon = horizon
+        self.timelines: dict[str, Timeline] = {
+            link.link_id: Timeline() for link in self.links
+        }
+        self._running = False
+
+    def start(self) -> None:
+        """Begin sampling (idempotent).
+
+        With a *horizon* the monitor stops by itself; without one it
+        samples until :meth:`stop` — callers driving ``env.run()``
+        without an ``until`` should set a horizon so the queue drains.
+        """
+        if self._running:
+            return
+        self._running = True
+        self.env.process(self._sample_loop())
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sample_loop(self):
+        while self._running:
+            if self.horizon is not None and self.env.now >= self.horizon:
+                self._running = False
+                return
+            for link in self.links:
+                utilization = (
+                    self.network.allocated_on(link) / link.capacity
+                )
+                self.timelines[link.link_id].sample(
+                    self.env.now, utilization
+                )
+            yield self.env.timeout(self.interval)
+
+    # -- reporting ------------------------------------------------------------
+    def peak(self, link: Link) -> float:
+        return self.timelines[link.link_id].peak
+
+    def mean(self, link: Link) -> float:
+        return self.timelines[link.link_id].mean
+
+    def busiest(self) -> tuple[Link, float]:
+        """The watched link with the highest mean utilization."""
+        best = max(
+            self.links, key=lambda l: self.timelines[l.link_id].mean
+        )
+        return best, self.timelines[best.link_id].mean

@@ -1,0 +1,401 @@
+"""Fluid-flow bandwidth sharing over directed links.
+
+Transfers are *flows* over link paths.  Whenever the flow population
+changes, every flow's rate is recomputed from scratch:
+
+1. **Reservations** — each flow may carry a ``min_rate`` (the paper's
+   ``Rate_least`` from §4.3.2), granted in flow-arrival order up to the
+   path's remaining capacity (admission-order isolation).
+2. **Residual distribution** — the remaining capacity is handed out
+   either by *progressive-filling max-min fairness* (how PCIe/NIC
+   hardware arbitrates concurrent DMA engines — the baselines' world)
+   or by *SLO-gated* allocation (GROUTER's rate control: all idle
+   bandwidth goes to the flow with the tightest SLO first).
+
+A multi-hop pipelined transfer is a single flow crossing all its links
+simultaneously; its rate is bounded by the bottleneck link share, which
+is the standard pipelining approximation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.common.errors import SimulationError
+from repro.net.links import Link
+from repro.sim.core import Environment, Event
+
+_EPS = 1e-9
+
+
+@dataclass
+class FlowStats:
+    """Final accounting attached to a completed flow's done-event."""
+
+    flow_id: int
+    size: float
+    started_at: float
+    finished_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def mean_rate(self) -> float:
+        return self.size / self.duration if self.duration > 0 else float("inf")
+
+
+class Flow:
+    """A single in-flight transfer over a fixed link path."""
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        env: Environment,
+        path: Sequence[Link],
+        size: float,
+        min_rate: float = 0.0,
+        rate_cap: float = float("inf"),
+        slo_deadline: Optional[float] = None,
+        tag: str = "",
+    ) -> None:
+        if not path:
+            raise SimulationError("flow path must contain at least one link")
+        if size <= 0:
+            raise SimulationError(f"flow size must be positive, got {size}")
+        if min_rate < 0:
+            raise SimulationError(f"negative min_rate {min_rate}")
+        self.flow_id = next(Flow._ids)
+        self.path = tuple(path)
+        self.size = float(size)
+        self.remaining = float(size)
+        self.min_rate = min_rate
+        self.rate_cap = rate_cap
+        self.slo_deadline = slo_deadline
+        self.tag = tag
+        self.rate = 0.0
+        self.started_at = env.now
+        self.done: Event = env.event()
+        self._last_update = env.now
+        self._timer_version = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Flow {self.flow_id} tag={self.tag!r} "
+            f"{self.remaining:.0f}/{self.size:.0f}B rate={self.rate:.2e}>"
+        )
+
+
+@dataclass
+class _LinkState:
+    link: Link
+    flows: set = field(default_factory=set)
+    bytes_carried: float = 0.0
+
+
+class FlowNetwork:
+    """Tracks active flows and shares link bandwidth among them.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    policy:
+        ``"maxmin"`` (default, baseline behaviour) or ``"slo_gated"``
+        (GROUTER §4.3.2: residual bandwidth goes to the tightest SLO).
+    """
+
+    def __init__(self, env: Environment, policy: str = "maxmin") -> None:
+        if policy not in ("maxmin", "slo_gated"):
+            raise SimulationError(f"unknown allocation policy {policy!r}")
+        self.env = env
+        self.policy = policy
+        self._links: dict[str, _LinkState] = {}
+        self._flows: set[Flow] = set()
+
+    # -- link registry ----------------------------------------------------
+    def add_link(self, link: Link) -> None:
+        """Register *link*; idempotent for the same object."""
+        existing = self._links.get(link.link_id)
+        if existing is not None and existing.link is not link:
+            raise SimulationError(f"duplicate link id {link.link_id}")
+        if existing is None:
+            self._links[link.link_id] = _LinkState(link)
+
+    def add_links(self, links: Iterable[Link]) -> None:
+        for link in links:
+            self.add_link(link)
+
+    def link_state(self, link: Link) -> _LinkState:
+        state = self._links.get(link.link_id)
+        if state is None:
+            # Links are registered lazily: a topology can hold thousands
+            # of links while only a few ever carry flows.
+            self.add_link(link)
+            state = self._links[link.link_id]
+        return state
+
+    def allocated_on(self, link: Link) -> float:
+        """Current total allocated rate on *link*."""
+        # Summation order is fixed so results do not depend on set/hash
+        # iteration order (which varies across processes).
+        return sum(
+            flow.rate
+            for flow in sorted(
+                self.link_state(link).flows, key=lambda f: f.flow_id
+            )
+        )
+
+    def residual_on(self, link: Link) -> float:
+        """Unallocated capacity on *link*."""
+        return max(0.0, link.capacity - self.allocated_on(link))
+
+    def flows_on(self, link: Link) -> set:
+        """Active flows crossing *link* (live view copy)."""
+        return set(self.link_state(link).flows)
+
+    def bytes_carried(self, link: Link) -> float:
+        """Total bytes carried by *link* so far (includes in-flight)."""
+        self._advance_progress()
+        return self.link_state(link).bytes_carried
+
+    @property
+    def active_flows(self) -> set[Flow]:
+        return set(self._flows)
+
+    # -- flow lifecycle ----------------------------------------------------
+    def start_flow(
+        self,
+        path: Sequence[Link],
+        size: float,
+        min_rate: float = 0.0,
+        rate_cap: float = float("inf"),
+        slo_deadline: Optional[float] = None,
+        tag: str = "",
+    ) -> Flow:
+        """Begin a transfer of *size* bytes over *path*.
+
+        Returns the :class:`Flow`; its ``done`` event fires (with
+        :class:`FlowStats`) when the last byte drains.
+        """
+        flow = Flow(
+            self.env,
+            path,
+            size,
+            min_rate=min_rate,
+            rate_cap=rate_cap,
+            slo_deadline=slo_deadline,
+            tag=tag,
+        )
+        for link in flow.path:
+            if link.link_id not in self._links:
+                self.add_link(link)
+        self._advance_progress()
+        self._flows.add(flow)
+        for link in flow.path:
+            self._links[link.link_id].flows.add(flow)
+        self._reallocate()
+        return flow
+
+    def cancel_flow(self, flow: Flow) -> None:
+        """Abort *flow*; its done-event fails with SimulationError."""
+        if flow not in self._flows:
+            raise SimulationError(f"cancel of unknown flow {flow.flow_id}")
+        self._advance_progress()
+        self._detach(flow)
+        flow.done.fail(SimulationError(f"flow {flow.flow_id} cancelled"))
+        self._reallocate()
+
+    # -- internals -----------------------------------------------------------
+    def _detach(self, flow: Flow) -> None:
+        self._flows.discard(flow)
+        for link in flow.path:
+            self._links[link.link_id].flows.discard(flow)
+        flow._timer_version += 1
+        flow.rate = 0.0
+
+    def _advance_progress(self) -> None:
+        """Drain bytes for elapsed time at each flow's current rate."""
+        now = self.env.now
+        for flow in sorted(self._flows, key=lambda f: f.flow_id):
+            elapsed = now - flow._last_update
+            if elapsed > 0 and flow.rate > 0:
+                moved = min(flow.remaining, flow.rate * elapsed)
+                flow.remaining -= moved
+                for link in flow.path:
+                    self._links[link.link_id].bytes_carried += moved
+            flow._last_update = now
+
+    def _reallocate(self) -> None:
+        """Recompute all flow rates and reschedule completion timers."""
+        # Deterministic iteration order: set order depends on object
+        # hashes, which vary across processes; flow_id does not.
+        rates = self._compute_rates(
+            sorted(self._flows, key=lambda f: f.flow_id)
+        )
+        for flow, rate in rates.items():
+            flow.rate = rate
+        # Completion timers are (re)armed in flow_id order: the heap
+        # breaks same-time ties by scheduling sequence, so this keeps
+        # event ordering independent of set/hash iteration order.
+        for flow in sorted(self._flows, key=lambda f: f.flow_id):
+            self._schedule_completion(flow)
+
+    def _schedule_completion(self, flow: Flow) -> None:
+        flow._timer_version += 1
+        version = flow._timer_version
+        if flow.remaining <= _EPS:
+            self.env.schedule(0.0, lambda f=flow, v=version: self._on_timer(f, v))
+            return
+        if flow.rate <= _EPS:
+            return  # starved; will be rescheduled on the next change
+        eta = flow.remaining / flow.rate
+        self.env.schedule(eta, lambda f=flow, v=version: self._on_timer(f, v))
+
+    def _on_timer(self, flow: Flow, version: int) -> None:
+        if flow._timer_version != version or flow.done.triggered:
+            return
+        self._advance_progress()
+        # Float-drift guard: a microbyte of residual is "done"; likewise
+        # finish when the residual is too small for the clock to advance
+        # (now + eta == now), or the timer would loop at one timestamp.
+        threshold = max(1e-6, flow.size * 1e-12)
+        if flow.remaining > threshold:
+            eta = (
+                flow.remaining / flow.rate if flow.rate > _EPS else float("inf")
+            )
+            if eta != float("inf") and self.env.now + eta > self.env.now:
+                self._schedule_completion(flow)
+                return
+            if eta == float("inf"):
+                return  # starved; rescheduled on the next rate change
+        flow.remaining = 0.0
+        self._detach(flow)
+        flow.done.succeed(
+            FlowStats(
+                flow_id=flow.flow_id,
+                size=flow.size,
+                started_at=flow.started_at,
+                finished_at=self.env.now,
+            )
+        )
+        self._reallocate()
+
+    # -- rate computation -------------------------------------------------
+    def _compute_rates(self, flows: list[Flow]) -> dict[Flow, float]:
+        if not flows:
+            return {}
+        rates: dict[Flow, float] = {}
+        residual: dict[str, float] = {
+            lid: state.link.capacity for lid, state in self._links.items()
+        }
+
+        # Phase 1: reservations are granted in flow-arrival order, each
+        # up to the path's remaining capacity.  Admission-order
+        # guarantees give performance isolation (§4.3.2): a later flood
+        # of reserving flows cannot dilute an earlier flow's Rate_least.
+        for flow in sorted(flows, key=lambda f: f.flow_id):
+            if flow.min_rate <= 0:
+                rates[flow] = 0.0
+                continue
+            headroom = min(residual[link.link_id] for link in flow.path)
+            granted = max(0.0, min(flow.min_rate, flow.rate_cap, headroom))
+            rates[flow] = granted
+            for link in flow.path:
+                residual[link.link_id] -= granted
+
+        # Phase 2: distribute the residual.
+        if self.policy == "slo_gated":
+            self._fill_slo_gated(flows, rates, residual)
+        else:
+            self._fill_maxmin(flows, rates, residual)
+        return rates
+
+    # SLO-gated flows are topped up to finish within this fraction of
+    # their remaining slack — comfortably early, but without hoarding.
+    _SLO_SLACK_TARGET = 0.5
+
+    def _fill_slo_gated(
+        self,
+        flows: list[Flow],
+        rates: dict[Flow, float],
+        residual: dict[str, float],
+    ) -> None:
+        """Idle bandwidth to the tightest SLO first (§4.3.2).
+
+        Two passes.  First, flows with a *future* deadline are topped
+        up — tightest deadline first — to the rate that finishes them
+        within half their remaining slack; expired deadlines are lost
+        causes and drop to best effort (otherwise a backlog of missed
+        transfers starves every still-meetable SLO).  Second, whatever
+        capacity remains is shared max-min among all flows, so nothing
+        is left idle and best-effort traffic never fully starves.
+        """
+        now = self.env.now
+        pending = [
+            flow
+            for flow in flows
+            if flow.slo_deadline is not None and flow.slo_deadline > now
+        ]
+        pending.sort(key=lambda f: (f.slo_deadline, f.flow_id))
+        for flow in pending:
+            slack = (flow.slo_deadline - now) * self._SLO_SLACK_TARGET
+            target_rate = flow.remaining / max(slack, _EPS)
+            want = min(target_rate, flow.rate_cap) - rates[flow]
+            if want <= _EPS:
+                continue
+            headroom = min(residual[link.link_id] for link in flow.path)
+            grant = min(want, headroom)
+            if grant <= _EPS:
+                continue
+            rates[flow] += grant
+            for link in flow.path:
+                residual[link.link_id] -= grant
+        # Work conservation: leftovers shared max-min among everyone.
+        self._fill_maxmin(flows, rates, residual)
+
+    def _fill_maxmin(
+        self,
+        flows: list[Flow],
+        rates: dict[Flow, float],
+        residual: dict[str, float],
+    ) -> None:
+        """Progressive-filling max-min fairness over the residual."""
+        unfrozen = [
+            flow for flow in flows if rates[flow] < flow.rate_cap - _EPS
+        ]
+        # Iteration bound: each pass freezes at least one flow.
+        for _ in range(len(flows) + 1):
+            if not unfrozen:
+                break
+            crossing: dict[str, int] = {}
+            for flow in unfrozen:
+                for link in flow.path:
+                    crossing[link.link_id] = crossing.get(link.link_id, 0) + 1
+            delta = min(
+                residual[link_id] / count for link_id, count in crossing.items()
+            )
+            delta = min(
+                [delta] + [flow.rate_cap - rates[flow] for flow in unfrozen]
+            )
+            if delta > _EPS:
+                for flow in unfrozen:
+                    rates[flow] += delta
+                    for link in flow.path:
+                        residual[link.link_id] -= delta
+            # Freeze flows pinned by a saturated link or their own cap.
+            frozen = set()
+            for flow in unfrozen:
+                at_cap = rates[flow] >= flow.rate_cap - _EPS
+                saturated = any(
+                    residual[link.link_id] <= _EPS for link in flow.path
+                )
+                if at_cap or saturated:
+                    frozen.add(flow)
+            if not frozen:
+                break
+            unfrozen = [flow for flow in unfrozen if flow not in frozen]

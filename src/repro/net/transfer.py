@@ -1,0 +1,279 @@
+"""Chunked, batched, multi-path transfer engine (paper §4.3.1-§4.3.2).
+
+GROUTER splits data into small chunks (2 MB by default), groups chunks
+into batches (5 per batch by default), and pipelines batches over one or
+more link paths.  Batches are the preemption granularity: a new function
+can inject its chunks at the next batch boundary, which is exactly how
+the fluid model behaves because every batch is a separate flow and rates
+are recomputed on each flow arrival.
+
+Multi-path transfers split the payload proportionally to each path's
+nominal bandwidth (dynamic chunk sizing, §4.3.3) so all paths finish
+together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.common.errors import SimulationError
+from repro.common.units import MB, US
+from repro.net.links import Link
+from repro.net.network import FlowNetwork
+from repro.sim.core import Environment, Event, Process
+from repro.sim.resources import Container
+
+DEFAULT_CHUNK_SIZE = 2 * MB
+DEFAULT_BATCH_CHUNKS = 5
+# Connection / launch overhead charged once per batch: a CUDA stream
+# launch plus synchronization is on the order of tens of microseconds.
+DEFAULT_BATCH_SETUP = 20 * US
+
+
+@dataclass(frozen=True)
+class Path:
+    """An ordered sequence of directed links from source to destination."""
+
+    links: tuple[Link, ...]
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise SimulationError("empty path")
+        for up, down in zip(self.links, self.links[1:]):
+            if up.dst != down.src:
+                raise SimulationError(
+                    f"discontinuous path: {up.link_id} -> {down.link_id}"
+                )
+
+    @property
+    def src(self) -> str:
+        return self.links[0].src
+
+    @property
+    def dst(self) -> str:
+        return self.links[-1].dst
+
+    @property
+    def nominal_bandwidth(self) -> float:
+        """Bottleneck capacity along the path."""
+        return min(link.capacity for link in self.links)
+
+    @property
+    def propagation_latency(self) -> float:
+        """Sum of per-link propagation latencies."""
+        return sum(link.latency for link in self.links)
+
+    @property
+    def hops(self) -> int:
+        return len(self.links)
+
+    def devices(self) -> list[str]:
+        """All device ids the path touches, in order."""
+        return [self.links[0].src] + [link.dst for link in self.links]
+
+    def __repr__(self) -> str:
+        route = "->".join(self.devices())
+        return f"<Path {route}>"
+
+
+@dataclass
+class TransferResult:
+    """Outcome of a completed transfer."""
+
+    size: float
+    started_at: float
+    finished_at: float
+    paths: tuple[Path, ...]
+    per_path_bytes: tuple[float, ...] = field(default=())
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def effective_bandwidth(self) -> float:
+        return self.size / self.duration if self.duration > 0 else float("inf")
+
+
+class TransferEngine:
+    """Executes (possibly multi-path, chunk-batched) transfers.
+
+    Parameters
+    ----------
+    env, network:
+        The simulation environment and the flow network carrying data.
+    chunk_size, batch_chunks, batch_setup:
+        Chunking defaults; individual transfers may override.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: FlowNetwork,
+        chunk_size: float = DEFAULT_CHUNK_SIZE,
+        batch_chunks: int = DEFAULT_BATCH_CHUNKS,
+        batch_setup: float = DEFAULT_BATCH_SETUP,
+    ) -> None:
+        if chunk_size <= 0 or batch_chunks < 1 or batch_setup < 0:
+            raise SimulationError("invalid transfer engine parameters")
+        self.env = env
+        self.network = network
+        self.chunk_size = chunk_size
+        self.batch_chunks = batch_chunks
+        self.batch_setup = batch_setup
+
+    # -- public API -------------------------------------------------------
+    def transfer(
+        self,
+        paths: Sequence[Path],
+        size: float,
+        min_rate: float = 0.0,
+        slo_deadline: Optional[float] = None,
+        chunked: bool = True,
+        pinned_buffer: Optional[Container] = None,
+        tag: str = "",
+    ) -> Process:
+        """Move *size* bytes over *paths*; returns the completion process.
+
+        The process's value is a :class:`TransferResult`.  With
+        ``chunked=False`` the whole payload is a single flow per path
+        (how NCCL/NVSHMEM point-to-point transfers behave); with
+        ``chunked=True`` GROUTER's batch pipeline is used.
+        """
+        if size <= 0:
+            raise SimulationError(f"transfer size must be positive, got {size}")
+        if not paths:
+            raise SimulationError("transfer needs at least one path")
+        return self.env.process(
+            self._run(
+                tuple(paths),
+                float(size),
+                min_rate,
+                slo_deadline,
+                chunked,
+                pinned_buffer,
+                tag,
+            )
+        )
+
+    def split_sizes(self, paths: Sequence[Path], size: float) -> list[float]:
+        """Split *size* across *paths* proportionally to bandwidth."""
+        total_bw = sum(path.nominal_bandwidth for path in paths)
+        shares = [size * path.nominal_bandwidth / total_bw for path in paths]
+        # Fix rounding drift so the shares sum exactly to size.
+        shares[-1] += size - sum(shares)
+        return shares
+
+    # -- internals ------------------------------------------------------------
+    def _run(
+        self,
+        paths: tuple[Path, ...],
+        size: float,
+        min_rate: float,
+        slo_deadline: Optional[float],
+        chunked: bool,
+        pinned_buffer: Optional[Container],
+        tag: str,
+    ):
+        started = self.env.now
+        shares = self.split_sizes(paths, size)
+        workers = []
+        for path, share in zip(paths, shares):
+            if share <= 0:
+                continue
+            path_min_rate = min_rate * share / size
+            workers.append(
+                self.env.process(
+                    self._run_path(
+                        path,
+                        share,
+                        path_min_rate,
+                        slo_deadline,
+                        chunked,
+                        pinned_buffer,
+                        tag,
+                    )
+                )
+            )
+        yield self.env.all_of(workers)
+        return TransferResult(
+            size=size,
+            started_at=started,
+            finished_at=self.env.now,
+            paths=paths,
+            per_path_bytes=tuple(shares),
+        )
+
+    def _run_path(
+        self,
+        path: Path,
+        size: float,
+        min_rate: float,
+        slo_deadline: Optional[float],
+        chunked: bool,
+        pinned_buffer: Optional[Container],
+        tag: str,
+    ):
+        # Pipeline-fill latency: the first chunk must traverse every hop
+        # before the stream reaches steady state, plus propagation.
+        fill_latency = path.propagation_latency
+        if chunked and path.hops > 1:
+            first_chunk = min(self.chunk_size, size)
+            fill_latency += (path.hops - 1) * (
+                first_chunk / path.nominal_bandwidth
+            )
+        if fill_latency > 0:
+            yield self.env.timeout(fill_latency)
+
+        if not chunked:
+            yield from self._send_block(
+                path, size, min_rate, slo_deadline, pinned_buffer, tag
+            )
+            return
+
+        batch_bytes = self.chunk_size * self.batch_chunks
+        remaining = size
+        while remaining > 0:
+            block = min(batch_bytes, remaining)
+            if self.batch_setup > 0:
+                yield self.env.timeout(self.batch_setup)
+            yield from self._send_block(
+                path, block, min_rate, slo_deadline, pinned_buffer, tag
+            )
+            remaining -= block
+
+    def _send_block(
+        self,
+        path: Path,
+        size: float,
+        min_rate: float,
+        slo_deadline: Optional[float],
+        pinned_buffer: Optional[Container],
+        tag: str,
+    ):
+        if pinned_buffer is not None:
+            grab = min(size, pinned_buffer.capacity)
+            yield pinned_buffer.get(grab)
+        else:
+            grab = 0.0
+        try:
+            flow = self.network.start_flow(
+                path.links,
+                size,
+                min_rate=min_rate,
+                slo_deadline=slo_deadline,
+                tag=tag,
+            )
+            yield flow.done
+        finally:
+            if pinned_buffer is not None:
+                pinned_buffer.put(grab)
+
+
+def single_flow_event(
+    network: FlowNetwork, path: Path, size: float, tag: str = ""
+) -> Event:
+    """Convenience: start an unchunked flow and return its done-event."""
+    flow = network.start_flow(path.links, size, tag=tag)
+    return flow.done

@@ -1,0 +1,17 @@
+"""Serverless platform: deployment, workflow engine, trace replay."""
+
+from repro.platform.platform import (
+    Deployment,
+    RequestResult,
+    ServerlessPlatform,
+    StageRecord,
+    build_platform,
+)
+
+__all__ = [
+    "Deployment",
+    "RequestResult",
+    "ServerlessPlatform",
+    "StageRecord",
+    "build_platform",
+]

@@ -1,0 +1,83 @@
+"""Rendering and export of experiment tables.
+
+Turns :class:`~repro.experiments.harness.ExperimentTable` rows into
+ASCII bar charts, CSV, or JSON — the CLI's output backends.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.experiments.harness import ExperimentTable
+
+BAR_WIDTH = 40
+
+
+def to_csv(table: ExperimentTable) -> str:
+    """Render a table as CSV (header row + one line per row)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=table.columns)
+    writer.writeheader()
+    for row in table.rows:
+        writer.writerow({c: row.get(c, "") for c in table.columns})
+    return buffer.getvalue()
+
+
+def to_json(table: ExperimentTable) -> str:
+    """Render a table as a JSON document with name/notes/rows."""
+    return json.dumps(
+        {
+            "name": table.name,
+            "notes": table.notes,
+            "columns": table.columns,
+            "rows": table.rows,
+        },
+        indent=2,
+        default=str,
+    )
+
+
+def bar_chart(
+    table: ExperimentTable,
+    value_column: str,
+    label_column: Optional[str] = None,
+    width: int = BAR_WIDTH,
+) -> str:
+    """ASCII horizontal bar chart of one numeric column."""
+    if value_column not in table.columns:
+        raise ConfigError(
+            f"column {value_column!r} not in table {table.name!r}"
+        )
+    label_column = label_column or table.columns[0]
+    entries = []
+    for row in table.rows:
+        value = row.get(value_column)
+        if isinstance(value, (int, float)) and value == value:  # not NaN
+            entries.append((str(row.get(label_column)), float(value)))
+    if not entries:
+        return f"{table.name}: no numeric data in {value_column!r}"
+    peak = max(value for _label, value in entries) or 1.0
+    label_width = max(len(label) for label, _value in entries)
+    lines = [f"{table.name} — {value_column}"]
+    for label, value in entries:
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.3g}")
+    return "\n".join(lines)
+
+
+FORMATS = ("table", "csv", "json")
+
+
+def render(table: ExperimentTable, fmt: str = "table") -> str:
+    """Render *table* in one of :data:`FORMATS`."""
+    if fmt == "table":
+        return table.format()
+    if fmt == "csv":
+        return to_csv(table)
+    if fmt == "json":
+        return to_json(table)
+    raise ConfigError(f"unknown format {fmt!r}; choose from {FORMATS}")

@@ -1,0 +1,29 @@
+"""Contention- and topology-aware routing policies."""
+
+from repro.routing.harvest import (
+    NicRoute,
+    PcieRoute,
+    nic_route_path,
+    parallel_nic_paths,
+    pcie_host_paths,
+    select_nic_routes,
+    select_pcie_routes,
+)
+from repro.routing.nvlink import (
+    PathSelection,
+    best_single_nvlink_path,
+    select_parallel_nvlink_paths,
+)
+
+__all__ = [
+    "NicRoute",
+    "PcieRoute",
+    "nic_route_path",
+    "parallel_nic_paths",
+    "pcie_host_paths",
+    "select_nic_routes",
+    "select_pcie_routes",
+    "PathSelection",
+    "best_single_nvlink_path",
+    "select_parallel_nvlink_paths",
+]

@@ -1,0 +1,21 @@
+"""Placement policies and pre-warming."""
+
+from repro.scheduler.placement import (
+    MapaPlacement,
+    PlacementPolicy,
+    PlacementResult,
+    RandomPlacement,
+    RoundRobinPlacement,
+    make_placement,
+)
+from repro.scheduler.prewarm import PrewarmManager
+
+__all__ = [
+    "MapaPlacement",
+    "PlacementPolicy",
+    "PlacementResult",
+    "RandomPlacement",
+    "RoundRobinPlacement",
+    "make_placement",
+    "PrewarmManager",
+]

@@ -1,0 +1,356 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic, generator-based engine in the style of SimPy:
+processes are Python generators that ``yield`` events; the environment
+resumes a process when the event it waits on fires.
+
+Determinism rules:
+
+* Events scheduled for the same time fire in scheduling order (a
+  monotonic sequence number breaks ties).
+* No wall-clock or randomness lives in the kernel; stochastic behaviour
+  belongs to callers who hold seeded RNGs.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def proc(env):
+...     yield env.timeout(1.0)
+...     log.append(env.now)
+>>> _ = env.process(proc(env))
+>>> env.run()
+>>> log
+[1.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable, Optional
+
+from repro.common.errors import SimulationError
+
+# Sentinel distinguishing "no value yet" from a real ``None`` value.
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* once :meth:`succeed` or :meth:`fail` is
+    called (its value is then fixed); it is *processed* once its
+    callbacks have run at the scheduled simulation time.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._processed = False
+        # Set when a failure was delivered to at least one waiter (or
+        # explicitly defused); undelivered failures raise at run() time.
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has a value (succeeded or failed)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._post(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._post(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so run() will not re-raise."""
+        self._defused = True
+
+    # -- waiting -----------------------------------------------------------
+    def subscribe(self, callback: Callable[["Event"], None]) -> None:
+        """Attach *callback*; fires even if the event already processed."""
+        if self._processed:
+            self.env._schedule_call(lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self._ok = True
+        self._value = value if value is not None else delay
+        env._post(self, delay=delay)
+
+
+class AnyOf(Event):
+    """Fires when the first of *events* fires (with a dict of done events)."""
+
+    def __init__(self, env: "Environment", events: list[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._done: dict[Event, Any] = {}
+        if not self._events:
+            self.succeed(self._done)
+            return
+        for event in self._events:
+            event.subscribe(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defuse()
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._done[event] = event.value
+        self.succeed(self._done)
+
+
+class AllOf(Event):
+    """Fires when all of *events* have fired (with a dict of values)."""
+
+    def __init__(self, env: "Environment", events: list[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._done: dict[Event, Any] = {}
+        if not self._events:
+            self.succeed(self._done)
+            return
+        for event in self._events:
+            event.subscribe(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defuse()
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._done[event] = event.value
+        if len(self._done) == len(self._events):
+            self.succeed(self._done)
+
+
+class Process(Event):
+    """Wraps a generator; the process event fires when the generator ends.
+
+    The generator may ``yield`` any :class:`Event`; it resumes with the
+    event's value (or the exception is thrown into it on failure).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not isinstance(generator, Generator):
+            raise SimulationError(
+                f"process() needs a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._resume_callback: Optional[Callable[[Event], None]] = None
+        # Bootstrap: start the generator at the current time.
+        env._schedule_call(lambda: self._resume(None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        waiting, callback = self._waiting_on, self._resume_callback
+        if waiting is not None and callback is not None:
+            if callback in waiting.callbacks:
+                waiting.callbacks.remove(callback)
+        self._waiting_on = None
+        self._resume_callback = None
+        self.env._schedule_call(lambda: self._resume(None, Interrupt(cause)))
+
+    # -- internals --------------------------------------------------------
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:  # generator crashed
+            self.fail(error)
+            return
+        if not isinstance(target, Event):
+            self._resume(None, SimulationError(f"yielded non-event {target!r}"))
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, event: Event) -> None:
+        self._waiting_on = event
+
+        def _on_event(evt: Event) -> None:
+            self._waiting_on = None
+            self._resume_callback = None
+            if evt._ok:
+                self._resume(evt.value, None)
+            else:
+                evt.defuse()
+                self._resume(None, evt.value)
+
+        self._resume_callback = _on_event
+        event.subscribe(_on_event)
+
+
+class Environment:
+    """The simulation environment: clock, event queue, process factory."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = initial_time
+        self._queue: list[tuple[float, int, object]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after *delay* seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start *generator* as a process; returns its completion event."""
+        return Process(self, generator)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        """Event that fires when any of *events* fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """Event that fires when all of *events* have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _post(self, event: Event, delay: float = 0.0) -> None:
+        """Queue *event*'s callbacks to run after *delay*."""
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def _schedule_call(self, call: Callable[[], None], delay: float = 0.0) -> None:
+        """Queue a bare callable (used for process bootstrap/resume)."""
+        heapq.heappush(self._queue, (self._now + delay, self._seq, call))
+        self._seq += 1
+
+    def schedule(self, delay: float, call: Callable[[], None]) -> None:
+        """Public hook: run *call* after *delay* seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._schedule_call(call, delay)
+
+    # -- execution ------------------------------------------------------------
+    def step(self) -> None:
+        """Process the next queue entry, advancing the clock."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        time, _seq, entry = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = time
+        if isinstance(entry, Event):
+            entry._processed = True
+            callbacks, entry.callbacks = entry.callbacks, []
+            for callback in callbacks:
+                callback(entry)
+            if entry._ok is False and not entry._defused:
+                exc = entry._value
+                if isinstance(exc, BaseException):
+                    raise exc
+                raise SimulationError(str(exc))
+        else:
+            entry()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches *until*.
+
+        When *until* is given the clock is advanced to exactly *until*
+        even if the queue drains earlier.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            next_time = self._queue[0][0]
+            if until is not None and next_time > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def peek(self) -> float:
+        """Time of the next queued entry, or ``inf`` when empty."""
+        return self._queue[0][0] if self._queue else float("inf")

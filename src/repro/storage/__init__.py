@@ -1,0 +1,17 @@
+"""Data objects, catalogs, access control, and GPU/host stores."""
+
+from repro.storage.catalog import AccessController, CatalogStats, DataCatalog
+from repro.storage.objects import DataObject, DataRef, Placement, Replica
+from repro.storage.stores import GpuStore, HostStore
+
+__all__ = [
+    "AccessController",
+    "CatalogStats",
+    "DataCatalog",
+    "DataObject",
+    "DataRef",
+    "Placement",
+    "Replica",
+    "GpuStore",
+    "HostStore",
+]

@@ -1,0 +1,103 @@
+"""Multi-node cluster topology.
+
+Nodes are joined by a non-blocking switch fabric: every NIC has a duplex
+link to the ``fabric`` device at its line rate.  Cross-node paths are
+``gpu -> pcie switch -> nic -> fabric -> nic -> pcie switch -> gpu``,
+which models GPUDirect RDMA (data never touches host memory).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.common.errors import TopologyError
+from repro.common.units import US
+from repro.net.links import Link, LinkKind
+from repro.topology.devices import FABRIC_ID, Gpu, Nic
+from repro.topology.node import NodeSpec, NodeTopology, node_spec
+
+FABRIC_LATENCY = 10 * US
+
+
+class ClusterTopology:
+    """A set of nodes plus the inter-node fabric."""
+
+    def __init__(self, nodes: list[NodeTopology]) -> None:
+        if not nodes:
+            raise TopologyError("cluster needs at least one node")
+        self.nodes = nodes
+        self._node_by_id = {node.node_id: node for node in nodes}
+        if len(self._node_by_id) != len(nodes):
+            raise TopologyError("duplicate node ids in cluster")
+        self._fabric_links: dict[tuple[str, str], Link] = {}
+        for node in nodes:
+            for nic in node.nics:
+                self._add_fabric_duplex(nic)
+
+    def _add_fabric_duplex(self, nic: Nic) -> None:
+        for src, dst in ((nic.device_id, FABRIC_ID), (FABRIC_ID, nic.device_id)):
+            self._fabric_links[(src, dst)] = Link(
+                link_id=f"{src}>{dst}",
+                src=src,
+                dst=dst,
+                capacity=nic.bandwidth,
+                kind=LinkKind.FABRIC,
+                latency=FABRIC_LATENCY,
+            )
+
+    # -- lookups -----------------------------------------------------------
+    def node(self, node_id: str) -> NodeTopology:
+        try:
+            return self._node_by_id[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id}") from None
+
+    def node_of_device(self, device_id: str) -> NodeTopology:
+        """The node owning *device_id* (GPUs, host, NICs, switches)."""
+        prefix = device_id.split(".", 1)[0]
+        return self.node(prefix)
+
+    def gpu(self, device_id: str) -> Gpu:
+        node = self.node_of_device(device_id)
+        for gpu in node.gpus:
+            if gpu.device_id == device_id:
+                return gpu
+        raise TopologyError(f"unknown GPU {device_id}")
+
+    def all_gpus(self) -> list[Gpu]:
+        return [gpu for node in self.nodes for gpu in node.gpus]
+
+    def link(self, src: str, dst: str) -> Link:
+        """Directed link lookup spanning node-internal and fabric links."""
+        key = (src, dst)
+        if key in self._fabric_links:
+            return self._fabric_links[key]
+        if src == FABRIC_ID or dst == FABRIC_ID:
+            raise TopologyError(f"no fabric link {src} -> {dst}")
+        node = self.node_of_device(src)
+        return node.link(src, dst)
+
+    def all_links(self) -> Iterable[Link]:
+        for node in self.nodes:
+            yield from node.all_links()
+        yield from self._fabric_links.values()
+
+    def same_node(self, a: str, b: str) -> bool:
+        return a.split(".", 1)[0] == b.split(".", 1)[0]
+
+    def __repr__(self) -> str:
+        kinds = ",".join(node.spec.name for node in self.nodes)
+        return f"<ClusterTopology {len(self.nodes)} nodes [{kinds}]>"
+
+
+def make_cluster(
+    preset: str = "dgx-v100",
+    num_nodes: int = 1,
+    spec: Optional[NodeSpec] = None,
+) -> ClusterTopology:
+    """Build a homogeneous cluster from a preset name or explicit spec."""
+    if num_nodes < 1:
+        raise TopologyError(f"num_nodes must be >= 1, got {num_nodes}")
+    chosen = spec if spec is not None else node_spec(preset)
+    nodes = [NodeTopology(chosen, index) for index in range(num_nodes)]
+    return ClusterTopology(nodes)

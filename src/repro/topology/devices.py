@@ -1,0 +1,74 @@
+"""Device model: GPUs, host memory, NICs, PCIe switches.
+
+Device ids are globally unique strings with a fixed scheme:
+
+- GPU:          ``n{node}.g{index}``
+- Host memory:  ``n{node}.host``
+- PCIe switch:  ``n{node}.sw{index}``
+- NIC:          ``n{node}.nic{index}``
+- Fabric:       ``fabric`` (the cluster-wide switch)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Gpu:
+    """A physical GPU device."""
+
+    device_id: str
+    node_id: str
+    index: int
+    memory_capacity: float  # bytes
+
+    def __str__(self) -> str:
+        return self.device_id
+
+
+@dataclass(frozen=True)
+class HostMemory:
+    """A node's host DRAM (also the PCIe root complex in path terms)."""
+
+    device_id: str
+    node_id: str
+    capacity: float  # bytes
+
+
+@dataclass(frozen=True)
+class Nic:
+    """A network interface card attached to a PCIe switch."""
+
+    device_id: str
+    node_id: str
+    index: int
+    bandwidth: float  # bytes per second, per direction
+
+
+@dataclass(frozen=True)
+class PcieSwitch:
+    """A PCIe switch; GPUs sharing one also share its host uplink."""
+
+    device_id: str
+    node_id: str
+    index: int
+
+
+def gpu_id(node: int, index: int) -> str:
+    return f"n{node}.g{index}"
+
+
+def host_id(node: int) -> str:
+    return f"n{node}.host"
+
+
+def switch_id(node: int, index: int) -> str:
+    return f"n{node}.sw{index}"
+
+
+def nic_id(node: int, index: int) -> str:
+    return f"n{node}.nic{index}"
+
+
+FABRIC_ID = "fabric"

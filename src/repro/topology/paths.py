@@ -1,0 +1,230 @@
+"""Path construction over node and cluster topologies.
+
+These helpers translate topology facts into :class:`repro.net.Path`
+objects the transfer engine can execute.  Routing *policy* (which of the
+possible paths to use) lives in :mod:`repro.routing`; this module only
+enumerates what the hardware permits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.common.errors import RoutingError
+from repro.net.links import Link
+from repro.net.transfer import Path
+from repro.topology.cluster import ClusterTopology
+from repro.topology.devices import FABRIC_ID, Gpu, Nic
+from repro.topology.node import NodeTopology
+
+
+def _links_to_path(links: list[Link]) -> Path:
+    return Path(tuple(links))
+
+
+# -- intra-node NVLink paths -------------------------------------------------
+
+def nvlink_direct_path(node: NodeTopology, src: Gpu, dst: Gpu) -> Optional[Path]:
+    """The direct NVLink path between two GPUs, or ``None``.
+
+    On NVSwitch nodes this is the two-hop hub route; on mesh nodes it is
+    the single direct link when one exists.
+    """
+    if src.device_id == dst.device_id:
+        raise RoutingError("no path needed between a GPU and itself")
+    if node.has_nvswitch:
+        return _links_to_path(
+            [
+                node.link(src.device_id, node.nvswitch_id),
+                node.link(node.nvswitch_id, dst.device_id),
+            ]
+        )
+    if node.nvlink_capacity(src.index, dst.index) > 0:
+        return _links_to_path([node.link(src.device_id, dst.device_id)])
+    return None
+
+
+def nvlink_graph(node: NodeTopology) -> "nx.DiGraph":
+    """Directed NVLink connectivity graph over GPU indexes (mesh nodes)."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(node.gpus)))
+    for a in range(len(node.gpus)):
+        for b in node.nvlink_neighbors(a):
+            graph.add_edge(a, b, capacity=node.nvlink_capacity(a, b))
+    return graph
+
+
+def nvlink_simple_paths(
+    node: NodeTopology, src: Gpu, dst: Gpu, max_hops: int = 3
+) -> list[Path]:
+    """All loop-free NVLink paths between two GPUs, shortest first.
+
+    On NVSwitch nodes the hub route is the only sensible path.  On mesh
+    nodes this enumerates simple paths up to *max_hops* GPU-to-GPU hops;
+    ties are broken by higher bottleneck capacity, then lexicographic
+    order, keeping results deterministic.
+    """
+    if node.has_nvswitch:
+        direct = nvlink_direct_path(node, src, dst)
+        return [direct] if direct is not None else []
+    graph = nvlink_graph(node)
+    found = []
+    for index_path in nx.all_simple_paths(
+        graph, src.index, dst.index, cutoff=max_hops
+    ):
+        links = [
+            node.link(
+                node.gpu(a).device_id,
+                node.gpu(b).device_id,
+            )
+            for a, b in zip(index_path, index_path[1:])
+        ]
+        found.append((index_path, _links_to_path(links)))
+    found.sort(
+        key=lambda entry: (
+            len(entry[0]),
+            -entry[1].nominal_bandwidth,
+            entry[0],
+        )
+    )
+    return [path for _indexes, path in found]
+
+
+# -- PCIe paths ------------------------------------------------------------
+
+def gpu_to_host_path(node: NodeTopology, gpu: Gpu) -> Path:
+    """``gpu -> pcie switch -> host`` over the shared switch uplink."""
+    switch = node.switch_of(gpu)
+    return _links_to_path(
+        [
+            node.link(gpu.device_id, switch),
+            node.link(switch, node.host.device_id),
+        ]
+    )
+
+
+def host_to_gpu_path(node: NodeTopology, gpu: Gpu) -> Path:
+    """``host -> pcie switch -> gpu``."""
+    switch = node.switch_of(gpu)
+    return _links_to_path(
+        [
+            node.link(node.host.device_id, switch),
+            node.link(switch, gpu.device_id),
+        ]
+    )
+
+
+def gpu_p2p_pcie_path(node: NodeTopology, src: Gpu, dst: Gpu) -> Path:
+    """GPU-to-GPU peer transfer over PCIe (no NVLink involved).
+
+    Same-switch peers route through the switch only; cross-switch peers
+    traverse both shared host uplinks through the root complex.
+    """
+    if src.device_id == dst.device_id:
+        raise RoutingError("no path needed between a GPU and itself")
+    src_switch, dst_switch = node.switch_of(src), node.switch_of(dst)
+    if src_switch == dst_switch:
+        return _links_to_path(
+            [
+                node.link(src.device_id, src_switch),
+                node.link(src_switch, dst.device_id),
+            ]
+        )
+    return _links_to_path(
+        [
+            node.link(src.device_id, src_switch),
+            node.link(src_switch, node.host.device_id),
+            node.link(node.host.device_id, dst_switch),
+            node.link(dst_switch, dst.device_id),
+        ]
+    )
+
+
+# -- NIC / cross-node paths ---------------------------------------------------
+
+def gpu_to_nic_links(node: NodeTopology, gpu: Gpu, nic: Nic) -> list[Link]:
+    """Links from a GPU out to a NIC (same switch, or via the root)."""
+    gpu_switch = node.switch_of(gpu)
+    if nic.device_id in node.nics_of_switch(gpu_switch):
+        return [
+            node.link(gpu.device_id, gpu_switch),
+            node.link(gpu_switch, nic.device_id),
+        ]
+    nic_switch = _switch_of_nic(node, nic)
+    return [
+        node.link(gpu.device_id, gpu_switch),
+        node.link(gpu_switch, node.host.device_id),
+        node.link(node.host.device_id, nic_switch),
+        node.link(nic_switch, nic.device_id),
+    ]
+
+
+def nic_to_gpu_links(node: NodeTopology, nic: Nic, gpu: Gpu) -> list[Link]:
+    """Links from a NIC in to a GPU (reverse of :func:`gpu_to_nic_links`)."""
+    gpu_switch = node.switch_of(gpu)
+    if nic.device_id in node.nics_of_switch(gpu_switch):
+        return [
+            node.link(nic.device_id, gpu_switch),
+            node.link(gpu_switch, gpu.device_id),
+        ]
+    nic_switch = _switch_of_nic(node, nic)
+    return [
+        node.link(nic.device_id, nic_switch),
+        node.link(nic_switch, node.host.device_id),
+        node.link(node.host.device_id, gpu_switch),
+        node.link(gpu_switch, gpu.device_id),
+    ]
+
+
+def _switch_of_nic(node: NodeTopology, nic: Nic) -> str:
+    for switch in node.switches:
+        if nic.device_id in node.nics_of_switch(switch.device_id):
+            return switch.device_id
+    raise RoutingError(f"NIC {nic.device_id} is not attached to any switch")
+
+
+def cross_node_gdr_path(
+    cluster: ClusterTopology,
+    src: Gpu,
+    dst: Gpu,
+    src_nic: Optional[Nic] = None,
+    dst_nic: Optional[Nic] = None,
+) -> Path:
+    """GPUDirect-RDMA path: src GPU -> src NIC -> fabric -> dst NIC -> dst GPU."""
+    if cluster.same_node(src.device_id, dst.device_id):
+        raise RoutingError("cross-node path requested for same-node GPUs")
+    src_node = cluster.node_of_device(src.device_id)
+    dst_node = cluster.node_of_device(dst.device_id)
+    src_nic = src_nic if src_nic is not None else src_node.nic_for_gpu(src)
+    dst_nic = dst_nic if dst_nic is not None else dst_node.nic_for_gpu(dst)
+    links = (
+        gpu_to_nic_links(src_node, src, src_nic)
+        + [
+            cluster.link(src_nic.device_id, FABRIC_ID),
+            cluster.link(FABRIC_ID, dst_nic.device_id),
+        ]
+        + nic_to_gpu_links(dst_node, dst_nic, dst)
+    )
+    return _links_to_path(links)
+
+
+def host_to_host_path(
+    cluster: ClusterTopology, src_node: NodeTopology, dst_node: NodeTopology
+) -> Path:
+    """Host-memory to host-memory path over the first NIC of each node."""
+    if src_node.node_id == dst_node.node_id:
+        raise RoutingError("host-to-host path requested within one node")
+    src_nic, dst_nic = src_node.nics[0], dst_node.nics[0]
+    src_switch = _switch_of_nic(src_node, src_nic)
+    dst_switch = _switch_of_nic(dst_node, dst_nic)
+    links = [
+        src_node.link(src_node.host.device_id, src_switch),
+        src_node.link(src_switch, src_nic.device_id),
+        cluster.link(src_nic.device_id, FABRIC_ID),
+        cluster.link(FABRIC_ID, dst_nic.device_id),
+        dst_node.link(dst_nic.device_id, dst_switch),
+        dst_node.link(dst_switch, dst_node.host.device_id),
+    ]
+    return _links_to_path(links)

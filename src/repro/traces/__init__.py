@@ -1,0 +1,21 @@
+"""Synthetic Azure-Functions-style request traces."""
+
+from repro.traces.azure import (
+    PATTERNS,
+    Trace,
+    TraceConfig,
+    generate_arrivals,
+    load_trace,
+    make_trace,
+    save_trace,
+)
+
+__all__ = [
+    "PATTERNS",
+    "Trace",
+    "TraceConfig",
+    "generate_arrivals",
+    "load_trace",
+    "make_trace",
+    "save_trace",
+]

@@ -1,0 +1,122 @@
+"""Request-level span tracing and ASCII Gantt rendering.
+
+A :class:`SpanTracer` records (start, end) spans per request — stage
+queueing, input fetches, execution, output publication — and renders a
+request as an ASCII Gantt chart.  The platform emits spans when a
+tracer is attached (``platform.tracer = SpanTracer()``); tracing is off
+by default and costs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ConfigError
+
+GANTT_WIDTH = 60
+
+# Span kinds, in render order within one stage.
+KIND_QUEUE = "queue"
+KIND_GET = "get"
+KIND_COLD = "cold-start"
+KIND_EXEC = "exec"
+KIND_PUT = "put"
+KINDS = (KIND_QUEUE, KIND_GET, KIND_COLD, KIND_EXEC, KIND_PUT)
+_GLYPHS = {
+    KIND_QUEUE: ".",
+    KIND_GET: "<",
+    KIND_COLD: "c",
+    KIND_EXEC: "#",
+    KIND_PUT: ">",
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed region of a request."""
+
+    request_id: str
+    stage: str
+    kind: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(f"unknown span kind {self.kind!r}")
+        if self.end < self.start:
+            raise ConfigError("span ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SpanTracer:
+    """Collects spans, grouped per request."""
+
+    def __init__(self) -> None:
+        self._spans: dict[str, list[Span]] = {}
+
+    def record(self, request_id: str, stage: str, kind: str,
+               start: float, end: float) -> None:
+        span = Span(request_id=request_id, stage=stage, kind=kind,
+                    start=start, end=end)
+        self._spans.setdefault(request_id, []).append(span)
+
+    def spans(self, request_id: str) -> list[Span]:
+        return sorted(
+            self._spans.get(request_id, []),
+            key=lambda s: (s.start, s.stage, KINDS.index(s.kind)),
+        )
+
+    def requests(self) -> list[str]:
+        return sorted(self._spans)
+
+    def total_by_kind(self, request_id: str) -> dict[str, float]:
+        totals = {kind: 0.0 for kind in KINDS}
+        for span in self._spans.get(request_id, []):
+            totals[span.kind] += span.duration
+        return totals
+
+    # -- rendering -----------------------------------------------------------
+    def gantt(self, request_id: str, width: int = GANTT_WIDTH) -> str:
+        """ASCII Gantt chart of one request.
+
+        One row per (stage, kind) span; glyphs: ``.`` queued, ``<``
+        fetching inputs, ``c`` cold start, ``#`` executing, ``>``
+        publishing output.
+        """
+        spans = self.spans(request_id)
+        if not spans:
+            return f"(no spans recorded for {request_id})"
+        t0 = min(s.start for s in spans)
+        t1 = max(s.end for s in spans)
+        horizon = max(t1 - t0, 1e-9)
+        scale = width / horizon
+        label_width = max(
+            len(f"{s.stage}[{s.kind}]") for s in spans
+        )
+        lines = [
+            f"request {request_id}: {horizon * 1e3:.2f} ms "
+            f"(. queue, < get, c cold, # exec, > put)"
+        ]
+        for span in spans:
+            begin = int((span.start - t0) * scale)
+            length = max(1, int(round(span.duration * scale)))
+            length = min(length, width - begin)
+            bar = " " * begin + _GLYPHS[span.kind] * length
+            label = f"{span.stage}[{span.kind}]".ljust(label_width)
+            lines.append(f"{label} |{bar.ljust(width)}|")
+        return "\n".join(lines)
+
+    def summary(self, request_id: str) -> str:
+        """One-line breakdown of where the request's time went."""
+        totals = self.total_by_kind(request_id)
+        parts = [
+            f"{kind}={totals[kind] * 1e3:.2f}ms"
+            for kind in KINDS
+            if totals[kind] > 0
+        ]
+        return f"{request_id}: " + ", ".join(parts)

@@ -1,0 +1,206 @@
+"""Claim-by-claim validation scorecard.
+
+Runs scaled-down versions of the paper's experiments and checks each
+headline claim *qualitatively* (direction/ordering, with generous
+margins), printing a PASS/FAIL scorecard.  Used by ``python -m repro
+validate`` and by EXPERIMENTS.md to summarize reproduction status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class Claim:
+    """One checked paper claim."""
+
+    claim_id: str
+    statement: str
+    check: Callable[[], tuple[bool, str]]
+
+
+@dataclass
+class ClaimResult:
+    claim_id: str
+    statement: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class Scorecard:
+    results: list[ClaimResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for r in self.results if r.passed)
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    def format(self) -> str:
+        lines = [f"Reproduction scorecard: {self.passed}/{self.total} claims hold"]
+        for result in self.results:
+            mark = "PASS" if result.passed else "FAIL"
+            lines.append(f"[{mark}] {result.claim_id}: {result.statement}")
+            lines.append(f"       {result.detail}")
+        return "\n".join(lines)
+
+
+def _check_fig3() -> tuple[bool, str]:
+    from repro.experiments import fig03
+
+    table = fig03.run_overall(workflows=("driving", "image"), duration=8.0)
+    fractions = {r["workflow"]: r["data_fraction"] for r in table.rows}
+    ok = all(f > 0.5 for f in fractions.values())
+    return ok, f"host-centric data fractions: {fractions}"
+
+
+def _check_asymmetry() -> tuple[bool, str]:
+    from repro.experiments import fig06
+
+    bandwidth = fig06.measure_pair_bandwidth()
+    pairs = [(a, b) for (a, b) in bandwidth if a < b]
+    double = sum(1 for p in pairs if bandwidth[p] > 40)
+    absent = sum(1 for p in pairs if bandwidth[p] <= 20)
+    ok = double == 8 and absent == 12
+    return ok, f"double-link pairs={double}/8, NVLink-less pairs={absent}/12"
+
+
+def _check_fig13() -> tuple[bool, str]:
+    from repro.experiments import fig13
+
+    details = {}
+    ok = True
+    for pattern, threshold in (("intra", 0.5), ("host", 0.3), ("inter", 0.5)):
+        table = fig13.run_pattern(pattern, sizes_mb=(64,), trials=2)
+        reduction = table.rows[0]["grouter_reduction_vs_best_baseline"]
+        details[pattern] = round(reduction, 3)
+        ok = ok and reduction > threshold
+    return ok, f"GROUTER reductions vs best baseline: {details}"
+
+
+def _check_fig14() -> tuple[bool, str]:
+    from repro.experiments import fig14
+
+    table = fig14.run(workflows=("driving", "image"), duration=10.0)
+    reductions = {
+        r["workflow"]: round(r["grouter_reduction_vs_infless"], 3)
+        for r in table.rows
+    }
+    ok = all(v > 0.2 for v in reductions.values())
+    return ok, f"P99 reductions vs INFless+: {reductions}"
+
+
+def _check_fig16() -> tuple[bool, str]:
+    from repro.experiments import fig16
+
+    table = fig16.run(duration=10.0)
+    slowdowns = [round(r["slowdown_vs_full"], 2) for r in table.rows]
+    ok = slowdowns[-1] > 1.2 and slowdowns == sorted(slowdowns)
+    return ok, f"cumulative ablation slowdowns: {slowdowns}"
+
+
+def _check_fig18() -> tuple[bool, str]:
+    from repro.experiments import fig18
+
+    table = fig18.run_tail_latency(duration=10.0)
+    p99s = {r["system"]: round(r["p99_ms"], 1) for r in table.rows}
+    ok = (
+        p99s["grouter"] <= p99s["rq"]
+        and p99s["rq"] <= p99s["lru"] * 1.05
+        and p99s["grouter"] < p99s["infless+"]
+    )
+    return ok, f"P99 (ms) under 6% storage: {p99s}"
+
+
+def _check_fig19() -> tuple[bool, str]:
+    from repro.experiments import fig19
+
+    table = fig19.run_input_lengths(lengths=(4096,))
+    row = table.rows[0]
+    ok = (
+        row["grouter_reduction_vs_infless"] > 0.4
+        and row["grouter_reduction_vs_mooncake"] > 0.2
+    )
+    return ok, (
+        f"TTFT@4K reductions: vs INFless+ "
+        f"{row['grouter_reduction_vs_infless']:.0%} (paper 66%), vs "
+        f"Mooncake+ {row['grouter_reduction_vs_mooncake']:.0%} (paper 57%)"
+    )
+
+
+def _check_fig20() -> tuple[bool, str]:
+    from repro.experiments import fig20
+
+    table = fig20.run_a10_latency(sizes_mb=(64,), trials=2)
+    reduction = table.rows[0]["grouter_reduction"]
+    return reduction > 0.2, (
+        f"A10 (no NVLink) reduction {reduction:.0%} (paper 51%)"
+    )
+
+
+CLAIMS: list[Claim] = [
+    Claim(
+        "fig3-motivation",
+        "data passing dominates host-centric end-to-end latency",
+        _check_fig3,
+    ),
+    Claim(
+        "fig6-asymmetry",
+        "DGX-V100: 8/28 double-bandwidth pairs, 12/28 NVLink-less pairs",
+        _check_asymmetry,
+    ),
+    Claim(
+        "fig13-data-passing",
+        "GROUTER cuts raw data-passing latency in all three patterns",
+        _check_fig13,
+    ),
+    Claim(
+        "fig14-end-to-end",
+        "GROUTER cuts end-to-end P99 vs the host-centric baseline",
+        _check_fig14,
+    ),
+    Claim(
+        "fig16-ablation",
+        "each disabled mechanism monotonically slows data passing",
+        _check_fig16,
+    ),
+    Claim(
+        "fig18-elastic",
+        "GROUTER <= RQ <= LRU < INFless+ under memory pressure",
+        _check_fig18,
+    ),
+    Claim(
+        "fig19-llm",
+        "GROUTER cuts MoA TTFT vs INFless+ and Mooncake+",
+        _check_fig19,
+    ),
+    Claim(
+        "fig20-no-nvlink",
+        "GROUTER wins even on a server without NVLink",
+        _check_fig20,
+    ),
+]
+
+
+def run_scorecard(claims: list[Claim] | None = None) -> Scorecard:
+    """Evaluate every claim; failures are captured, not raised."""
+    card = Scorecard()
+    for claim in claims if claims is not None else CLAIMS:
+        try:
+            passed, detail = claim.check()
+        except Exception as error:  # pragma: no cover - defensive
+            passed, detail = False, f"check crashed: {error!r}"
+        card.results.append(
+            ClaimResult(
+                claim_id=claim.claim_id,
+                statement=claim.statement,
+                passed=passed,
+                detail=detail,
+            )
+        )
+    return card

@@ -1,0 +1,26 @@
+"""Workflow DAGs and the evaluation workload suite."""
+
+from repro.workflow.dag import Edge, Stage, Workflow, WorkloadSpec
+from repro.workflow.workloads import (
+    WORKLOADS,
+    driving_workload,
+    get_workload,
+    image_workload,
+    recognition_workload,
+    traffic_workload,
+    video_workload,
+)
+
+__all__ = [
+    "Edge",
+    "Stage",
+    "Workflow",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "driving_workload",
+    "get_workload",
+    "image_workload",
+    "recognition_workload",
+    "traffic_workload",
+    "video_workload",
+]

@@ -1,0 +1,181 @@
+"""Workflow DAGs (paper §2.1, Fig. 12).
+
+A workflow is a DAG of named stages; edges carry how much of the
+upstream output flows downstream (``fraction``, for fan-out splits such
+as person/vehicle crops) and an execution ``probability`` (for the
+conditional-branch pattern).  ``fraction=1.0`` on several out-edges
+models broadcast fan-out (every classifier in an ensemble reads the
+whole image).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.common.errors import WorkflowError
+from repro.functions.spec import FunctionSpec
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One node of a workflow DAG."""
+
+    name: str
+    spec: FunctionSpec
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A data dependency between two stages."""
+
+    src: str
+    dst: str
+    fraction: float = 1.0
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise WorkflowError(
+                f"edge {self.src}->{self.dst}: fraction must be in (0, 1]"
+            )
+        if not 0.0 < self.probability <= 1.0:
+            raise WorkflowError(
+                f"edge {self.src}->{self.dst}: probability must be in (0, 1]"
+            )
+
+
+class Workflow:
+    """A validated DAG of stages."""
+
+    def __init__(self, name: str, stages: list[Stage], edges: list[Edge]) -> None:
+        if not stages:
+            raise WorkflowError(f"workflow {name!r} has no stages")
+        self.name = name
+        self.stages: dict[str, Stage] = {}
+        for stage in stages:
+            if stage.name in self.stages:
+                raise WorkflowError(f"duplicate stage name {stage.name!r}")
+            self.stages[stage.name] = stage
+        self.edges = list(edges)
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(self.stages)
+        for edge in self.edges:
+            for endpoint in (edge.src, edge.dst):
+                if endpoint not in self.stages:
+                    raise WorkflowError(
+                        f"edge references unknown stage {endpoint!r}"
+                    )
+            if self._graph.has_edge(edge.src, edge.dst):
+                raise WorkflowError(f"duplicate edge {edge.src}->{edge.dst}")
+            self._graph.add_edge(edge.src, edge.dst, edge=edge)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise WorkflowError(f"workflow {name!r} contains a cycle")
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def entry_stages(self) -> list[Stage]:
+        """Stages with no predecessors (receive the request input)."""
+        return [
+            self.stages[n]
+            for n in self._graph.nodes
+            if self._graph.in_degree(n) == 0
+        ]
+
+    @property
+    def exit_stages(self) -> list[Stage]:
+        """Stages with no successors (produce the response)."""
+        return [
+            self.stages[n]
+            for n in self._graph.nodes
+            if self._graph.out_degree(n) == 0
+        ]
+
+    def topological_order(self) -> list[Stage]:
+        return [
+            self.stages[n] for n in nx.lexicographical_topological_sort(self._graph)
+        ]
+
+    def predecessors(self, stage_name: str) -> list[str]:
+        self._check_stage(stage_name)
+        return sorted(self._graph.predecessors(stage_name))
+
+    def successors(self, stage_name: str) -> list[str]:
+        self._check_stage(stage_name)
+        return sorted(self._graph.successors(stage_name))
+
+    def edge(self, src: str, dst: str) -> Edge:
+        try:
+            return self._graph.edges[src, dst]["edge"]
+        except KeyError:
+            raise WorkflowError(f"no edge {src}->{dst}") from None
+
+    def in_edges(self, stage_name: str) -> list[Edge]:
+        self._check_stage(stage_name)
+        return [
+            self._graph.edges[s, d]["edge"]
+            for s, d in sorted(self._graph.in_edges(stage_name))
+        ]
+
+    def out_edges(self, stage_name: str) -> list[Edge]:
+        self._check_stage(stage_name)
+        return [
+            self._graph.edges[s, d]["edge"]
+            for s, d in sorted(self._graph.out_edges(stage_name))
+        ]
+
+    def _check_stage(self, stage_name: str) -> None:
+        if stage_name not in self.stages:
+            raise WorkflowError(f"unknown stage {stage_name!r}")
+
+    # -- composition helpers -------------------------------------------------
+    def gpu_stages(self) -> list[Stage]:
+        return [s for s in self.stages.values() if s.spec.is_gpu]
+
+    def cpu_stages(self) -> list[Stage]:
+        return [s for s in self.stages.values() if not s.spec.is_gpu]
+
+    def function_names(self) -> list[str]:
+        """Distinct function (stage) names, for ACL registration."""
+        return sorted(self.stages)
+
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering (GPU stages boxed, CPU stages oval)."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=LR;"]
+        for stage in self.stages.values():
+            shape = "box" if stage.spec.is_gpu else "ellipse"
+            lines.append(f'  "{stage.name}" [shape={shape}];')
+        for edge in self.edges:
+            attrs = []
+            if edge.fraction != 1.0:
+                attrs.append(f"label=\"x{edge.fraction:g}\"")
+            if edge.probability != 1.0:
+                attrs.append("style=dashed")
+            suffix = f" [{', '.join(attrs)}]" if attrs else ""
+            lines.append(f'  "{edge.src}" -> "{edge.dst}"{suffix};')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Workflow {self.name} stages={len(self.stages)} "
+            f"edges={len(self.edges)}>"
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workflow plus the request-input model used in the evaluation."""
+
+    workflow: Workflow
+    input_per_item: float  # request input bytes per batch item
+    default_batch: int = 8
+    description: str = ""
+
+    def input_size(self, batch: int | None = None) -> float:
+        n = batch if batch is not None else self.default_batch
+        return self.input_per_item * n

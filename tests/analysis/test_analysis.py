@@ -1,0 +1,82 @@
+"""Tests for bootstrap analysis and trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bootstrap_ci, significantly_faster, speedup_ci
+from repro.common.errors import ConfigError
+from repro.traces import load_trace, make_trace, save_trace
+
+
+class TestBootstrap:
+    def test_ci_contains_true_mean_for_tight_data(self):
+        samples = [10.0] * 50
+        ci = bootstrap_ci(samples)
+        assert ci.estimate == 10.0
+        assert ci.low == ci.high == 10.0
+        assert 10.0 in ci
+
+    def test_ci_widens_with_variance(self):
+        rng = np.random.default_rng(1)
+        tight = bootstrap_ci(rng.normal(100, 1, 200).tolist(), seed=1)
+        wide = bootstrap_ci(rng.normal(100, 25, 200).tolist(), seed=1)
+        assert (wide.high - wide.low) > (tight.high - tight.low)
+
+    def test_deterministic_per_seed(self):
+        samples = list(np.random.default_rng(2).normal(5, 1, 100))
+        a = bootstrap_ci(samples, seed=7)
+        b = bootstrap_ci(samples, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ConfigError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ConfigError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_str_rendering(self):
+        text = str(bootstrap_ci([1.0, 2.0, 3.0]))
+        assert "@95%" in text
+
+
+class TestSpeedup:
+    def test_clear_speedup_detected(self):
+        rng = np.random.default_rng(3)
+        slow = rng.normal(100, 5, 100).tolist()
+        fast = rng.normal(50, 5, 100).tolist()
+        ci = speedup_ci(slow, fast, seed=3)
+        assert ci.estimate == pytest.approx(2.0, rel=0.1)
+        assert ci.low > 1.5
+        assert significantly_faster(slow, fast, seed=3)
+
+    def test_no_difference_not_significant(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(100, 10, 100).tolist()
+        b = rng.normal(100, 10, 100).tolist()
+        assert not significantly_faster(a, b, seed=4)
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(ConfigError):
+            speedup_ci([], [1.0])
+        with pytest.raises(ConfigError):
+            speedup_ci([1.0], [])
+
+
+class TestTracePersistence:
+    def test_round_trip(self, tmp_path):
+        trace = make_trace("bursty", rate=5.0, duration=20.0, seed=9)
+        path = str(tmp_path / "trace.json")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.arrivals, trace.arrivals)
+        assert loaded.config.pattern == "bursty"
+        assert loaded.config.seed == 9
+
+    def test_loaded_trace_is_replayable(self, tmp_path):
+        trace = make_trace("sporadic", rate=3.0, duration=10.0, seed=2)
+        path = str(tmp_path / "trace.json")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert list(loaded) == list(trace)

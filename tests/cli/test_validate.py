@@ -1,0 +1,36 @@
+"""Tests for the claim scorecard machinery (not the slow checks)."""
+
+from repro.validate import CLAIMS, Claim, run_scorecard
+
+
+class TestScorecard:
+    def test_synthetic_claims(self):
+        claims = [
+            Claim("good", "always holds", lambda: (True, "fine")),
+            Claim("bad", "never holds", lambda: (False, "nope")),
+        ]
+        card = run_scorecard(claims)
+        assert card.passed == 1
+        assert card.total == 2
+        text = card.format()
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text
+        assert "1/2" in text
+
+    def test_crashing_check_is_captured(self):
+        def boom():
+            raise RuntimeError("kaput")
+
+        card = run_scorecard([Claim("crash", "explodes", boom)])
+        assert card.passed == 0
+        assert "crashed" in card.results[0].detail
+
+    def test_registered_claims_cover_headline_results(self):
+        ids = {c.claim_id for c in CLAIMS}
+        for expected in ("fig3-motivation", "fig13-data-passing",
+                         "fig18-elastic", "fig19-llm"):
+            assert expected in ids
+        # Each claim is well-formed.
+        for claim in CLAIMS:
+            assert claim.statement
+            assert callable(claim.check)

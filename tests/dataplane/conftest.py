@@ -1,0 +1,21 @@
+"""Fixtures for data-plane tests (plus path setup for plane_helpers)."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.sim import Environment  # noqa: E402
+from repro.topology import make_cluster  # noqa: E402
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("dgx-v100", num_nodes=2)

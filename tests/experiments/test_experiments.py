@@ -1,0 +1,177 @@
+"""Smoke + shape tests for the experiment reproductions.
+
+Each test runs a scaled-down version of a paper experiment and asserts
+the qualitative claim (who wins, in which direction) rather than exact
+magnitudes.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig03,
+    fig06,
+    fig07,
+    fig13,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    table1,
+)
+
+
+class TestFig03:
+    def test_data_passing_dominates_host_centric(self):
+        table = fig03.run_overall(
+            workflows=("driving",), rate=2.0, duration=6.0
+        )
+        row = table.rows[0]
+        assert row["data_fraction"] > 0.5
+
+    def test_breakdown_grows_with_batch(self):
+        table = fig03.run_traffic_batches(
+            batches=(1, 16), rate=2.0, duration=6.0
+        )
+        small, large = table.rows
+        assert large["gfn_gfn_ms"] > small["gfn_gfn_ms"]
+
+
+class TestTable1:
+    def test_matrix_matches_paper(self):
+        table = table1.run()
+        by_system = {row["system"]: row for row in table.rows}
+        grouter = by_system["grouter"]
+        assert grouter["data_locality"] == "yes"
+        assert grouter["bandwidth_harvesting"] == "yes"
+        assert grouter["elastic_storage"] == "yes"
+        nvshmem = by_system["nvshmem+"]
+        assert nvshmem["data_locality"] == "no"
+        assert nvshmem["bandwidth_harvesting"] == "no"
+        assert nvshmem["elastic_storage"] == "no"
+        deepplan = by_system["deepplan+"]
+        assert deepplan["bandwidth_harvesting"] == "yes"
+        assert deepplan["data_locality"] == "no"
+
+
+class TestFig06:
+    def test_v100_bandwidth_tiers(self):
+        bandwidth = fig06.measure_pair_bandwidth()
+        pairs = [(a, b) for (a, b) in bandwidth if a < b]
+        double = [p for p in pairs if bandwidth[p] > 40]
+        single = [p for p in pairs if 20 < bandwidth[p] <= 40]
+        none = [p for p in pairs if bandwidth[p] <= 20]
+        assert len(double) == 8
+        assert len(single) == 8
+        assert len(none) == 12
+
+    def test_matrix_symmetric_table(self):
+        table = fig06.run()
+        assert len(table.rows) == 8
+
+
+class TestFig07:
+    def test_memory_timeline_has_idle_memory(self):
+        table = fig07.run_memory_timeline(rate=2.0, duration=6.0)
+        assert table.rows
+        for row in table.rows:
+            assert row["min_idle_gb"] >= 0
+            assert row["mean_idle_gb"] <= row["capacity_gb"]
+
+    def test_tighter_limits_force_more_migration(self):
+        table = fig07.run_forced_eviction(
+            limits=(1.0, 0.02), rate=10.0, duration=12.0
+        )
+        loose, tight = table.rows
+        loose_pressure = loose["migrations"] + loose["admission_spills"]
+        tight_pressure = tight["migrations"] + tight["admission_spills"]
+        assert tight_pressure >= loose_pressure
+        assert tight_pressure > 0
+
+
+class TestFig13:
+    @pytest.mark.parametrize("pattern,min_reduction", [
+        ("intra", 0.4), ("host", 0.3), ("inter", 0.5),
+    ])
+    def test_grouter_reduces_latency(self, pattern, min_reduction):
+        table = fig13.run_pattern(pattern, sizes_mb=(64,), trials=2)
+        row = table.rows[0]
+        assert row["grouter_reduction_vs_best_baseline"] > min_reduction
+
+
+class TestFig16:
+    def test_ablation_monotone_overall(self):
+        table = fig16.run(rate=3.0, duration=8.0)
+        slowdowns = [row["slowdown_vs_full"] for row in table.rows]
+        assert slowdowns[0] == pytest.approx(1.0)
+        # Removing everything must hurt overall.
+        assert slowdowns[-1] > 1.05
+
+
+class TestFig17:
+    def test_partitioning_protects_driving(self):
+        table = fig17.run(rate=4.0, duration=12.0)
+        rows = {
+            (r["pairing"], r["config"]): r for r in table.rows
+        }
+        high_on = rows[("high contention (driving+video)", "grouter")]
+        high_off = rows[("high contention (driving+video)", "grouter-BH")]
+        # Partitioning protects the latency-critical workflow's data
+        # passing (small margin allowed: the fluid model under-reports
+        # the paper's 32% gap).
+        assert (
+            high_on["driving_data_ms"]
+            <= high_off["driving_data_ms"] * 1.1
+        )
+        assert high_on["driving_p99_ms"] <= high_off["driving_p99_ms"] * 1.15
+
+
+class TestFig18:
+    def test_grouter_beats_lru_at_tail(self):
+        table = fig18.run_tail_latency(
+            fraction=0.05, rate=4.0, duration=8.0
+        )
+        rows = {r["system"]: r for r in table.rows}
+        assert rows["grouter"]["p99_ms"] <= rows["lru"]["p99_ms"]
+        assert rows["grouter"]["p99_ms"] <= rows["infless+"]["p99_ms"]
+
+
+class TestFig19:
+    def test_reductions_positive(self):
+        table = fig19.run_input_lengths(lengths=(4096,))
+        row = table.rows[0]
+        assert row["grouter_reduction_vs_infless"] > 0.3
+        assert row["grouter_reduction_vs_mooncake"] > 0.1
+
+    def test_mooncake_gap_narrows_with_tp(self):
+        table = fig19.run_models_tp(
+            models=("llama-7b",), tps=(1, 8), input_tokens=4096
+        )
+        low_tp, high_tp = table.rows
+        assert (
+            high_tp["grouter_reduction_vs_mooncake"]
+            < low_tp["grouter_reduction_vs_mooncake"]
+        )
+
+
+class TestFig20:
+    def test_a10_grouter_wins_without_nvlink(self):
+        table = fig20.run_a10_latency(sizes_mb=(64,), trials=2)
+        row = table.rows[0]
+        assert row["grouter_reduction"] > 0.2
+
+    def test_cpu_overhead_comparable(self):
+        table = fig20.run_cpu_overhead(rate=3.0, duration=8.0)
+        rows = {r["plane"]: r for r in table.rows}
+        grouter = rows["grouter"]["cpu_core_fraction"]
+        infless = rows["infless+"]["cpu_core_fraction"]
+        assert grouter < max(4 * infless, 0.05)
+
+    def test_grouter_lowest_memory_overhead(self):
+        table = fig20.run_gpu_memory_overhead(rate=3.0, duration=8.0)
+        rows = {r["plane"]: r for r in table.rows}
+        assert (
+            rows["grouter"]["final_reserved_gb"]
+            <= rows["deepplan+"]["final_reserved_gb"] + 1e-6
+        )
+        assert rows["nvshmem+"]["peak_symmetric_gb"] > 0

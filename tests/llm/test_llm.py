@@ -1,0 +1,126 @@
+"""Tests for the LLM layer: KV sizing, transfer systems, MoA."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import MB
+from repro.llm import (
+    MoaConfig,
+    get_llm,
+    measure_kv_transfer,
+    recompute_ttft,
+    run_moa,
+    ttft,
+)
+
+
+class TestLlmSpecs:
+    def test_kv_bytes_per_token_7b(self):
+        spec = get_llm("llama-7b")
+        # 2 * 32 layers * 32 heads * 128 dim * 2 bytes = 512 KiB/token.
+        assert spec.kv_bytes_per_token() == 2 * 32 * 32 * 128 * 2
+
+    def test_gqa_shrinks_kv(self):
+        small = get_llm("llama-70b").kv_bytes_per_token()
+        big = get_llm("llama-13b").kv_bytes_per_token()
+        assert small < big  # 70B uses GQA with 8 KV heads
+
+    def test_tp_shards_kv(self):
+        spec = get_llm("llama-7b")
+        assert spec.kv_bytes(1024, tp=8) == spec.kv_bytes(1024, tp=1) / 8
+
+    def test_prefill_scales_with_tp(self):
+        spec = get_llm("llama-13b")
+        assert spec.prefill_latency(4096, tp=8) == pytest.approx(
+            spec.prefill_latency(4096, tp=1) / 8
+        )
+
+    def test_invalid_args(self):
+        spec = get_llm("llama-7b")
+        with pytest.raises(ConfigError):
+            spec.kv_bytes(-1)
+        with pytest.raises(ConfigError):
+            spec.kv_bytes(10, tp=0)
+        with pytest.raises(ConfigError):
+            get_llm("gpt-5")
+
+
+class TestKvTransfer:
+    @pytest.mark.parametrize("system", ["infless+", "mooncake+", "grouter"])
+    def test_transfer_completes(self, system):
+        stats = measure_kv_transfer(
+            system, get_llm("llama-7b"), tokens=1024, tp=8
+        )
+        assert stats.latency > 0
+
+    def test_grouter_moves_bytes_once(self):
+        spec = get_llm("llama-7b")
+        stats = measure_kv_transfer("grouter", spec, tokens=2048, tp=8)
+        assert stats.copies == 1
+        assert stats.bytes_on_wire == spec.total_kv_bytes(2048)
+
+    def test_baselines_triple_copy(self):
+        for system in ("infless+", "mooncake+"):
+            stats = measure_kv_transfer(
+                system, get_llm("llama-7b"), tokens=2048, tp=8
+            )
+            assert stats.copies == 3
+
+    def test_grouter_fastest_at_tp8(self):
+        spec = get_llm("llama-7b")
+        latencies = {
+            name: measure_kv_transfer(name, spec, tokens=4096, tp=8).latency
+            for name in ("infless+", "mooncake+", "grouter")
+        }
+        assert latencies["grouter"] < latencies["mooncake+"]
+        assert latencies["mooncake+"] < latencies["infless+"]
+
+    def test_mooncake_gap_narrows_with_tp(self):
+        # Paper: as TP increases Mooncake starts using multiple NICs,
+        # narrowing GROUTER's advantage.
+        spec = get_llm("llama-7b")
+        ratios = {}
+        for tp in (1, 8):
+            g = measure_kv_transfer("grouter", spec, 4096, tp).latency
+            m = measure_kv_transfer("mooncake+", spec, 4096, tp).latency
+            ratios[tp] = m / g
+        assert ratios[8] < ratios[1]
+
+    def test_ttft_beats_recompute_for_long_inputs(self):
+        spec = get_llm("llama-70b")
+        reuse = ttft("grouter", spec, input_tokens=8192, tp=8)
+        recompute = recompute_ttft(spec, input_tokens=8192, tp=8)
+        assert reuse < recompute
+
+
+class TestMoa:
+    def test_moa_runs_and_orders_systems(self):
+        config = MoaConfig(
+            model="llama-7b", layers=2, agents_per_layer=2,
+            input_tokens=2048, tp=8,
+        )
+        ttfts = {}
+        for system in ("infless+", "mooncake+", "grouter"):
+            result = run_moa(system, config)
+            assert len(result.layer_ttfts) == 1
+            ttfts[system] = result.mean_ttft
+        assert ttfts["grouter"] < ttfts["infless+"]
+        assert ttfts["grouter"] < ttfts["mooncake+"]
+
+    def test_moa_validation(self):
+        with pytest.raises(ConfigError):
+            MoaConfig(layers=1)
+        with pytest.raises(ConfigError):
+            MoaConfig(agents_per_layer=0)
+
+    def test_moa_layer_count(self):
+        config = MoaConfig(layers=3, agents_per_layer=2, input_tokens=1024)
+        result = run_moa("grouter", config)
+        assert len(result.layer_ttfts) == 2
+        assert result.total_latency > sum(result.layer_ttfts)
+
+    def test_ttft_grows_with_input_length(self):
+        spec = get_llm("llama-7b")
+        short = ttft("grouter", spec, input_tokens=1024, tp=8)
+        long = ttft("grouter", spec, input_tokens=16384, tp=8)
+        assert long > short

@@ -1,0 +1,84 @@
+"""Edge-case tests for the LLM layer."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.llm import (
+    KV_SYSTEMS,
+    MoaConfig,
+    get_llm,
+    make_kv_system,
+    measure_kv_transfer,
+    run_moa,
+)
+from repro.sim import Environment
+from repro.topology import make_cluster
+
+
+class TestKvSystemConstruction:
+    def test_unknown_system(self):
+        env = Environment()
+        cluster = make_cluster("h800", num_nodes=2)
+        with pytest.raises(ConfigError):
+            make_kv_system("nccl", env, cluster)
+
+    def test_single_node_rejected(self):
+        env = Environment()
+        cluster = make_cluster("h800", num_nodes=1)
+        with pytest.raises(ConfigError):
+            make_kv_system("grouter", env, cluster)
+
+    def test_tp_exceeding_gpus_rejected(self):
+        env = Environment()
+        cluster = make_cluster("h800", num_nodes=2)
+        system = make_kv_system("grouter", env, cluster)
+        with pytest.raises(ConfigError):
+            system.shards(0, 9)
+
+    def test_three_systems_registered(self):
+        assert set(KV_SYSTEMS) == {"infless+", "mooncake+", "grouter"}
+
+
+class TestKvScaling:
+    def test_latency_scales_with_tokens(self):
+        spec = get_llm("llama-7b")
+        short = measure_kv_transfer("grouter", spec, 1024, 8).latency
+        long = measure_kv_transfer("grouter", spec, 8192, 8).latency
+        assert long > short * 4  # roughly linear in cache size
+
+    def test_bigger_kv_model_slower(self):
+        # 13B has more KV bytes/token than GQA 70B; transfer orders by
+        # cache size, not parameter count.
+        t13 = measure_kv_transfer("grouter", get_llm("llama-13b"), 4096, 8)
+        t70 = measure_kv_transfer("grouter", get_llm("llama-70b"), 4096, 8)
+        assert t13.latency > t70.latency
+
+    def test_grouter_tp_sweep_monotone_bytes(self):
+        spec = get_llm("llama-7b")
+        for tp in (1, 2, 4, 8):
+            stats = measure_kv_transfer("grouter", spec, 2048, tp)
+            # The cache crosses the wire exactly once regardless of TP.
+            assert stats.bytes_on_wire == pytest.approx(
+                spec.total_kv_bytes(2048)
+            )
+
+
+class TestMoaEdge:
+    def test_more_agents_more_transfer_time(self):
+        small = run_moa("grouter", MoaConfig(
+            layers=2, agents_per_layer=1, input_tokens=4096))
+        big = run_moa("grouter", MoaConfig(
+            layers=2, agents_per_layer=4, input_tokens=4096))
+        assert big.layer_ttfts[0] > small.layer_ttfts[0]
+
+    def test_layers_on_distinct_nodes(self):
+        config = MoaConfig(layers=4, agents_per_layer=1, input_tokens=1024)
+        result = run_moa("grouter", config)
+        assert len(result.layer_ttfts) == 3
+
+    def test_mean_ttft(self):
+        config = MoaConfig(layers=3, agents_per_layer=1, input_tokens=1024)
+        result = run_moa("grouter", config)
+        assert result.mean_ttft == pytest.approx(
+            sum(result.layer_ttfts) / len(result.layer_ttfts)
+        )

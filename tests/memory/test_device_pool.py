@@ -1,0 +1,166 @@
+"""Tests for device memory accounting and memory pools."""
+
+import pytest
+
+from repro.common.errors import AllocationError
+from repro.common.units import GB, MB
+from repro.memory import AllocationCostModel, DeviceMemory, MemoryPool
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def device(env):
+    return DeviceMemory(env, "n0.g0", capacity=16 * GB)
+
+
+class TestDeviceMemory:
+    def test_reserve_and_release(self, device):
+        device.reserve("weights", 4 * GB)
+        assert device.used == 4 * GB
+        assert device.free == 12 * GB
+        device.release("weights", 4 * GB)
+        assert device.used == 0
+
+    def test_over_reserve_raises(self, device):
+        with pytest.raises(AllocationError):
+            device.reserve("x", 20 * GB)
+
+    def test_over_release_raises(self, device):
+        device.reserve("x", 1 * GB)
+        with pytest.raises(AllocationError):
+            device.release("x", 2 * GB)
+
+    def test_per_tag_accounting(self, device):
+        device.reserve("weights", 2 * GB)
+        device.reserve("pool", 3 * GB)
+        assert device.used_by("weights") == 2 * GB
+        assert device.used_by("pool") == 3 * GB
+        assert device.used_by("other") == 0
+
+    def test_timeline_recording(self, env):
+        device = DeviceMemory(env, "g", capacity=1 * GB, record_timeline=True)
+        device.reserve("a", 100 * MB)
+        device.release("a", 100 * MB)
+        assert len(device.timeline) == 2
+        assert device.timeline[0].used == 100 * MB
+        assert device.timeline[1].used == 0
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(AllocationError):
+            DeviceMemory(env, "g", capacity=0)
+
+    def test_can_fit(self, device):
+        device.reserve("x", 15 * GB)
+        assert device.can_fit(1 * GB)
+        assert not device.can_fit(2 * GB)
+
+
+class TestMemoryPool:
+    def test_first_alloc_grows_reservation(self, env, device):
+        pool = MemoryPool(env, device)
+        proc = pool.alloc(100 * MB)
+        env.run()
+        allocation = proc.value
+        assert allocation.size == 100 * MB
+        assert pool.reserved == 100 * MB
+        assert pool.in_use == 100 * MB
+        assert device.used_by(pool.tag) == 100 * MB
+
+    def test_pool_hit_is_fast(self, env, device):
+        cost = AllocationCostModel(malloc_base=1e-3, pool_hit=1e-6)
+        pool = MemoryPool(env, device, cost_model=cost)
+        first = pool.alloc(100 * MB)
+        env.run()
+        pool.free(first.value)
+        start = env.now
+        second = pool.alloc(50 * MB)
+        env.run()
+        # Reuses the freed reservation: only the pool-hit latency.
+        assert env.now - start == pytest.approx(1e-6)
+        assert second.value.size == 50 * MB
+        assert pool.grow_count == 1
+
+    def test_miss_pays_malloc_latency(self, env, device):
+        cost = AllocationCostModel(malloc_base=1e-3, malloc_per_gb=0.0, pool_hit=0.0)
+        pool = MemoryPool(env, device, cost_model=cost)
+        pool.alloc(100 * MB)
+        env.run()
+        start = env.now
+        pool.alloc(100 * MB)  # no idle reservation left
+        env.run()
+        assert env.now - start == pytest.approx(1e-3)
+
+    def test_static_pool_never_shrinks(self, env, device):
+        pool = MemoryPool(env, device)
+        allocs = []
+        for _ in range(4):
+            proc = pool.alloc(200 * MB)
+            env.run()
+            allocs.append(proc.value)
+        for allocation in allocs:
+            pool.free(allocation)
+        # Memory bloat: reservation persists after frees.
+        assert pool.reserved == 800 * MB
+        assert pool.in_use == 0
+
+    def test_trim_respects_in_use(self, env, device):
+        pool = MemoryPool(env, device)
+        keep = pool.alloc(300 * MB)
+        env.run()
+        tmp = pool.alloc(300 * MB)
+        env.run()
+        pool.free(tmp.value)
+        pool.trim(0.0)
+        env.run()
+        assert pool.reserved == pytest.approx(300 * MB)
+        assert keep.value.size == 300 * MB
+
+    def test_reclaim_all(self, env, device):
+        pool = MemoryPool(env, device)
+        proc = pool.alloc(500 * MB)
+        env.run()
+        pool.free(proc.value)
+        pool.reclaim_all()
+        env.run()
+        assert pool.reserved == 0
+        assert device.used_by(pool.tag) == 0
+
+    def test_double_free_raises(self, env, device):
+        pool = MemoryPool(env, device)
+        proc = pool.alloc(10 * MB)
+        env.run()
+        pool.free(proc.value)
+        with pytest.raises(AllocationError):
+            pool.free(proc.value)
+
+    def test_foreign_free_raises(self, env, device):
+        pool_a = MemoryPool(env, device, tag="a")
+        pool_b = MemoryPool(env, device, tag="b")
+        proc = pool_a.alloc(10 * MB)
+        env.run()
+        with pytest.raises(AllocationError):
+            pool_b.free(proc.value)
+
+    def test_pool_exhausts_device(self, env):
+        device = DeviceMemory(env, "g", capacity=100 * MB)
+        pool = MemoryPool(env, device)
+        pool.alloc(80 * MB)
+        env.run()
+        failed = pool.alloc(50 * MB)
+        with pytest.raises(AllocationError):
+            env.run()
+        assert not failed.ok
+
+    def test_peak_tracking(self, env, device):
+        pool = MemoryPool(env, device)
+        proc = pool.alloc(400 * MB)
+        env.run()
+        pool.free(proc.value)
+        pool.trim(0.0)
+        env.run()
+        assert pool.peak_reserved == 400 * MB

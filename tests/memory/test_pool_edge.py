@@ -1,0 +1,75 @@
+"""Edge-case tests for pool prewarming and device timelines."""
+
+import pytest
+
+from repro.common.units import GB, MB
+from repro.memory import AllocationCostModel, DeviceMemory, MemoryPool
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestPrewarm:
+    def test_prewarm_reserves_without_latency(self, env):
+        device = DeviceMemory(env, "g", capacity=16 * GB)
+        pool = MemoryPool(env, device)
+        pool.prewarm(300 * MB)
+        assert pool.reserved == 300 * MB
+        assert env.now == 0.0  # no simulated time consumed
+        # First alloc within the prewarmed floor is a pool hit.
+        proc = pool.alloc(100 * MB)
+        env.run()
+        assert proc.value.size == 100 * MB
+        assert pool.grow_count == 0
+
+    def test_prewarm_idempotent_below_existing(self, env):
+        device = DeviceMemory(env, "g", capacity=16 * GB)
+        pool = MemoryPool(env, device)
+        pool.prewarm(300 * MB)
+        pool.prewarm(100 * MB)  # smaller: no change
+        assert pool.reserved == 300 * MB
+        pool.prewarm(500 * MB)  # larger: tops up
+        assert pool.reserved == 500 * MB
+
+    def test_prewarm_zero_is_noop(self, env):
+        device = DeviceMemory(env, "g", capacity=16 * GB)
+        pool = MemoryPool(env, device)
+        pool.prewarm(0.0)
+        assert pool.reserved == 0.0
+
+    def test_prewarmed_pool_trims_like_any_other(self, env):
+        device = DeviceMemory(env, "g", capacity=16 * GB)
+        pool = MemoryPool(env, device)
+        pool.prewarm(1 * GB)
+        pool.trim(200 * MB)
+        env.run()
+        assert pool.reserved == pytest.approx(200 * MB)
+
+
+class TestCostModel:
+    def test_malloc_latency_scales_with_size(self):
+        model = AllocationCostModel(malloc_base=1e-3, malloc_per_gb=2e-3)
+        small = model.malloc_latency(1 * GB)
+        large = model.malloc_latency(4 * GB)
+        assert small == pytest.approx(3e-3)
+        assert large == pytest.approx(9e-3)
+
+    def test_pool_hit_much_cheaper_than_malloc(self):
+        model = AllocationCostModel()
+        assert model.pool_hit < model.malloc_latency(1 * MB) / 10
+
+
+class TestTimelines:
+    def test_timeline_tags_snapshot(self, env):
+        device = DeviceMemory(env, "g", capacity=1 * GB,
+                              record_timeline=True)
+        device.reserve("weights", 100 * MB)
+        device.reserve("pool", 200 * MB)
+        last = device.timeline[-1]
+        assert last.by_tag == {"weights": 100 * MB, "pool": 200 * MB}
+        # Snapshots are copies: later mutations don't rewrite history.
+        device.release("pool", 200 * MB)
+        assert device.timeline[-2].by_tag["pool"] == 200 * MB

@@ -1,0 +1,69 @@
+"""Tests for link metadata and miscellaneous net helpers."""
+
+import pytest
+
+from repro.common.units import GB
+from repro.net import (
+    FlowNetwork,
+    Link,
+    LinkKind,
+    Path,
+    single_flow_event,
+)
+from repro.sim import Environment
+
+
+class TestLink:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Link("l", "a", "b", capacity=0.0, kind=LinkKind.PCIE)
+
+    def test_negative_latency(self):
+        with pytest.raises(ValueError):
+            Link("l", "a", "b", capacity=1.0, kind=LinkKind.PCIE,
+                 latency=-1.0)
+
+    def test_repr_shows_bandwidth(self):
+        link = Link("l", "a", "b", capacity=24 * GB, kind=LinkKind.NVLINK)
+        assert "a->b" in repr(link)
+
+    def test_kinds_cover_all_interconnects(self):
+        assert {k.value for k in LinkKind} == {
+            "nvlink", "pcie", "nic", "fabric", "shm"
+        }
+
+    def test_links_hashable_and_frozen(self):
+        link = Link("l", "a", "b", capacity=1.0, kind=LinkKind.SHM)
+        assert {link: 1}[link] == 1
+        with pytest.raises(Exception):
+            link.capacity = 2.0  # type: ignore[misc]
+
+
+class TestSingleFlowEvent:
+    def test_completion_event(self):
+        env = Environment()
+        net = FlowNetwork(env)
+        link = Link("l", "a", "b", capacity=100.0, kind=LinkKind.NIC)
+        event = single_flow_event(net, Path((link,)), size=200.0)
+        env.run()
+        assert event.ok
+        assert event.value.finished_at == pytest.approx(2.0)
+
+
+class TestFlowReprAndStats:
+    def test_flow_repr(self):
+        env = Environment()
+        net = FlowNetwork(env)
+        link = Link("l", "a", "b", capacity=10.0, kind=LinkKind.PCIE)
+        flow = net.start_flow([link], size=100.0, tag="probe")
+        assert "probe" in repr(flow)
+
+    def test_stats_mean_rate(self):
+        env = Environment()
+        net = FlowNetwork(env)
+        link = Link("l", "a", "b", capacity=50.0, kind=LinkKind.PCIE)
+        flow = net.start_flow([link], size=100.0)
+        env.run()
+        stats = flow.done.value
+        assert stats.mean_rate == pytest.approx(50.0)
+        assert stats.duration == pytest.approx(2.0)

@@ -1,0 +1,122 @@
+"""Edge-case tests for platform deployment and execution."""
+
+import pytest
+
+from repro.dataplane import make_plane
+from repro.platform import ServerlessPlatform
+from repro.sim import Environment
+from repro.topology import make_cluster
+from repro.workflow import get_workload
+
+
+def make_platform(**kwargs):
+    env = Environment()
+    cluster = make_cluster("dgx-v100")
+    plane = make_plane("grouter", env, cluster)
+    return ServerlessPlatform(env, cluster, plane, **kwargs)
+
+
+class TestSloConfiguration:
+    def test_per_deploy_multiplier_scales_stage_slos(self):
+        platform = make_platform(slo_multiplier=1.5)
+        tight = platform.deploy(get_workload("driving"), slo_multiplier=1.5)
+        loose = platform.deploy(get_workload("driving"), slo_multiplier=3.0)
+        for stage in tight.stage_slos:
+            assert loose.stage_slos[stage] == pytest.approx(
+                2.0 * tight.stage_slos[stage]
+            )
+
+    def test_e2e_estimate_covers_stage_chain(self):
+        platform = make_platform()
+        deployment = platform.deploy(get_workload("driving"))
+        assert deployment.e2e_slo_estimate == pytest.approx(
+            sum(deployment.stage_slos.values())
+        )
+
+    def test_fan_out_e2e_estimate_uses_critical_path(self):
+        platform = make_platform()
+        deployment = platform.deploy(get_workload("video"))
+        slos = deployment.stage_slos
+        # Critical path = split + one detector + recognition, not all 4
+        # detectors summed.
+        expected = (
+            slos["chunk-split"]
+            + max(slos[f"face-det-{i}"] for i in range(4))
+            + slos["face-rec"]
+        )
+        assert deployment.e2e_slo_estimate == pytest.approx(expected)
+
+    def test_explicit_slo_marks_results(self):
+        platform = make_platform()
+        deployment = platform.deploy(get_workload("driving"), slo=10.0)
+        proc = platform.submit(deployment)
+        platform.env.run()
+        assert proc.value.slo == 10.0
+        assert proc.value.slo_met is True
+
+    def test_no_slo_means_unknown_attainment(self):
+        platform = make_platform()
+        deployment = platform.deploy(get_workload("driving"))
+        proc = platform.submit(deployment)
+        platform.env.run()
+        assert proc.value.slo_met is None
+
+
+class TestColdStarts:
+    def test_no_prewarm_pays_cold_start(self):
+        warm = make_platform(prewarm=True)
+        cold_platform = make_platform(prewarm=True)
+        # Disable deploy-time prewarming on the second platform by
+        # expiring warmth before the request arrives.
+        cold_platform.prewarmer.keep_alive = 0.0
+        dep_w = warm.deploy(get_workload("driving"))
+        dep_c = cold_platform.deploy(get_workload("driving"))
+        pw = warm.submit(dep_w)
+        warm.env.run()
+        pc = cold_platform.submit(dep_c)
+        cold_platform.env.run()
+        cold_total = sum(
+            r.cold_start for r in pc.value.stage_records.values()
+        )
+        warm_total = sum(
+            r.cold_start for r in pw.value.stage_records.values()
+        )
+        assert warm_total == 0.0
+        assert cold_total > 0.0
+        assert pc.value.latency > pw.value.latency
+
+    def test_prewarm_disabled_entirely(self):
+        platform = make_platform(prewarm=False)
+        deployment = platform.deploy(get_workload("driving"))
+        proc = platform.submit(deployment)
+        platform.env.run()
+        assert all(
+            r.cold_start == 0.0
+            for r in proc.value.stage_records.values()
+        )
+        assert platform.prewarmer.cold_starts == 0
+
+
+class TestResultAccounting:
+    def test_latency_decomposition_covers_wall_time(self):
+        platform = make_platform()
+        deployment = platform.deploy(get_workload("driving"))
+        proc = platform.submit(deployment)
+        platform.env.run()
+        result = proc.value
+        # A linear chain: queue+get+cold+exec+put per stage spans the
+        # request end to end (small control-plane slack allowed).
+        accounted = sum(
+            r.queued_time + r.get_time + r.cold_start + r.compute_time
+            + r.put_time
+            for r in result.stage_records.values()
+        )
+        assert accounted == pytest.approx(result.latency, rel=0.05)
+
+    def test_results_accumulate_on_platform(self):
+        platform = make_platform()
+        deployment = platform.deploy(get_workload("driving"))
+        for _ in range(3):
+            platform.submit(deployment)
+        platform.env.run()
+        assert len(platform.results) == 3

@@ -1,0 +1,114 @@
+"""Property-based tests for the transfer engine and routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.units import MB
+from repro.net import FlowNetwork, Link, LinkKind, Path, TransferEngine
+from repro.routing import select_parallel_nvlink_paths, select_pcie_routes
+from repro.sim import Environment
+from repro.topology import make_cluster
+
+
+def star_paths(count, capacity=100.0):
+    """*count* disjoint single-link paths out of one source."""
+    return [
+        Path((Link(f"p{i}", "src", f"dst{i}", capacity=capacity,
+                   kind=LinkKind.NVLINK),))
+        for i in range(count)
+    ]
+
+
+class TestTransferProperties:
+    @given(
+        size=st.floats(min_value=1.0, max_value=1e9),
+        n_paths=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_split_conserves_bytes(self, size, n_paths):
+        env = Environment()
+        engine = TransferEngine(env, FlowNetwork(env), batch_setup=0.0)
+        shares = engine.split_sizes(star_paths(n_paths), size)
+        assert sum(shares) == pytest.approx(size)
+        assert all(share >= 0 for share in shares)
+
+    @given(
+        size_mb=st.floats(min_value=0.5, max_value=64.0),
+        n_paths=st.integers(min_value=1, max_value=4),
+        chunked=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_completion_not_faster_than_physics(self, size_mb, n_paths,
+                                                chunked):
+        env = Environment()
+        net = FlowNetwork(env)
+        engine = TransferEngine(env, net, batch_setup=0.0)
+        capacity = 10 * MB  # bytes/s
+        paths = star_paths(n_paths, capacity=capacity)
+        size = size_mb * MB
+        proc = engine.transfer(paths, size, chunked=chunked)
+        env.run()
+        result = proc.value
+        lower_bound = size / (n_paths * capacity)
+        assert result.duration >= lower_bound - 1e-9
+        # And with no contention the engine should be close to it.
+        assert result.duration <= lower_bound * 3 + 1e-3
+
+    @given(sizes=st.lists(
+        st.floats(min_value=0.5, max_value=16.0), min_size=2, max_size=5,
+    ))
+    @settings(max_examples=30, deadline=None)
+    def test_concurrent_transfers_all_complete(self, sizes):
+        env = Environment()
+        net = FlowNetwork(env)
+        engine = TransferEngine(env, net, batch_setup=0.0)
+        shared = Path((Link("s", "a", "b", capacity=10 * MB,
+                            kind=LinkKind.PCIE),))
+        procs = [
+            engine.transfer([shared], size * MB, chunked=True)
+            for size in sizes
+        ]
+        env.run()
+        for proc, size in zip(procs, sizes):
+            assert proc.ok
+            assert proc.value.size == pytest.approx(size * MB)
+        assert net.active_flows == set()
+
+
+class TestRoutingProperties:
+    @given(gpu_index=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=20, deadline=None)
+    def test_pcie_routes_use_distinct_switches(self, gpu_index):
+        cluster = make_cluster("dgx-v100")
+        node = cluster.nodes[0]
+        gpu = node.gpu(gpu_index)
+        for aware in (True, False):
+            routes = select_pcie_routes(node, gpu, topology_aware=aware)
+            switches = [node.switch_of(r.route_gpu) for r in routes]
+            assert len(switches) == len(set(switches))
+            assert node.switch_of(gpu) not in switches
+
+    @given(
+        a=st.integers(min_value=0, max_value=7),
+        b=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nvlink_selection_paths_disjoint_and_valid(self, a, b):
+        if a == b:
+            return
+        env = Environment()
+        cluster = make_cluster("dgx-v100")
+        node = cluster.nodes[0]
+        selection = select_parallel_nvlink_paths(
+            node, FlowNetwork(env), node.gpu(a), node.gpu(b)
+        )
+        seen = set()
+        for path in selection.paths:
+            assert path.devices()[0] == node.gpu(a).device_id
+            assert path.devices()[-1] == node.gpu(b).device_id
+            for link in path.links:
+                assert link.link_id not in seen
+                seen.add(link.link_id)
+        # Any NVLink-connected component on DGX-V100 is fully reachable.
+        assert selection.paths or not node.has_nvlink

@@ -1,0 +1,226 @@
+"""Tests for NVLink path selection (Alg. 1) and bandwidth harvesting."""
+
+import pytest
+
+from repro.common.units import GB
+from repro.net import FlowNetwork
+from repro.routing import (
+    best_single_nvlink_path,
+    parallel_nic_paths,
+    pcie_host_paths,
+    select_nic_routes,
+    select_parallel_nvlink_paths,
+    select_pcie_routes,
+)
+from repro.sim import Environment
+from repro.topology import make_cluster
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def v100_cluster():
+    return make_cluster("dgx-v100", num_nodes=2)
+
+
+@pytest.fixture
+def v100(v100_cluster):
+    return v100_cluster.nodes[0]
+
+
+@pytest.fixture
+def network(env):
+    return FlowNetwork(env)
+
+
+class TestNvlinkSelection:
+    def test_direct_path_chosen_first(self, v100, network):
+        selection = select_parallel_nvlink_paths(
+            v100, network, v100.gpu(0), v100.gpu(3)
+        )
+        assert selection.paths
+        assert selection.paths[0].hops == 1
+        assert selection.free_paths >= 1
+
+    def test_parallel_paths_disjoint(self, v100, network):
+        selection = select_parallel_nvlink_paths(
+            v100, network, v100.gpu(0), v100.gpu(3)
+        )
+        seen = set()
+        for path in selection.paths:
+            for link in path.links:
+                assert link.link_id not in seen
+                seen.add(link.link_id)
+
+    def test_weak_pair_gets_multihop_paths(self, v100, network):
+        # GPU0-GPU5: no direct NVLink; selection must aggregate indirect
+        # paths with real bandwidth.
+        selection = select_parallel_nvlink_paths(
+            v100, network, v100.gpu(0), v100.gpu(5)
+        )
+        assert selection.paths
+        assert all(path.hops >= 2 for path in selection.paths)
+        assert selection.aggregate_bandwidth >= 24 * GB
+
+    def test_aggregate_exceeds_single_path(self, v100, network):
+        single = best_single_nvlink_path(
+            v100, network, v100.gpu(0), v100.gpu(3)
+        )
+        selection = select_parallel_nvlink_paths(
+            v100, network, v100.gpu(0), v100.gpu(3)
+        )
+        assert selection.aggregate_bandwidth > single.nominal_bandwidth
+
+    def test_busy_links_avoided_when_free_exist(self, v100, network):
+        # Occupy the direct 0->3 link with a foreign flow.
+        direct = v100.link("n0.g0", "n0.g3")
+        network.start_flow([direct], size=1e12)
+        selection = select_parallel_nvlink_paths(
+            v100, network, v100.gpu(0), v100.gpu(3)
+        )
+        free_link_ids = {
+            link.link_id
+            for path in selection.paths[: selection.free_paths]
+            for link in path.links
+        }
+        assert direct.link_id not in free_link_ids
+
+    def test_nvswitch_returns_single_path(self, env):
+        cluster = make_cluster("dgx-a100")
+        node = cluster.nodes[0]
+        network = FlowNetwork(env)
+        selection = select_parallel_nvlink_paths(
+            node, network, node.gpu(0), node.gpu(1)
+        )
+        assert len(selection.paths) == 1
+        assert selection.paths[0].devices()[1] == "n0.nvsw"
+
+    def test_max_paths_respected(self, v100, network):
+        selection = select_parallel_nvlink_paths(
+            v100, network, v100.gpu(0), v100.gpu(3), max_paths=1
+        )
+        assert len(selection.paths) == 1
+
+    def test_no_nvlink_node_returns_empty(self, env):
+        cluster = make_cluster("a10")
+        node = cluster.nodes[0]
+        selection = select_parallel_nvlink_paths(
+            node, FlowNetwork(env), node.gpu(0), node.gpu(1)
+        )
+        assert selection.paths == []
+
+
+class TestPcieHarvesting:
+    def test_topology_aware_excludes_same_switch(self, v100):
+        routes = select_pcie_routes(v100, v100.gpu(0), topology_aware=True)
+        for route in routes:
+            assert not v100.shares_pcie_switch(v100.gpu(0), route.route_gpu)
+
+    def test_topology_aware_routes_all_via_nvlink(self, v100):
+        routes = select_pcie_routes(v100, v100.gpu(0), topology_aware=True)
+        assert routes
+        assert all(route.via_nvlink for route in routes)
+        # GPU0's NVLink peers are {1,2,3,4}; switches sw1 (g2/g3) and
+        # sw2 (g4) are reachable, sw3 (g6/g7) is not.
+        route_switches = {v100.switch_of(r.route_gpu) for r in routes}
+        assert route_switches == {"n0.sw1", "n0.sw2"}
+
+    def test_naive_borrows_without_nvlink(self, v100):
+        routes = select_pcie_routes(v100, v100.gpu(0), topology_aware=False)
+        assert len(routes) == 3  # one per foreign switch
+        assert any(not route.via_nvlink for route in routes)
+
+    def test_busy_uplink_skipped(self, v100, env):
+        network = FlowNetwork(env)
+        uplink = v100.link("n0.sw1", "n0.host")
+        network.start_flow([uplink], size=1e12)
+        routes = select_pcie_routes(
+            v100, v100.gpu(0), topology_aware=True, network=network
+        )
+        assert all(
+            v100.switch_of(route.route_gpu) != "n0.sw1" for route in routes
+        )
+
+    def test_paths_to_host_aggregate_uplinks(self, v100):
+        routes = select_pcie_routes(v100, v100.gpu(0), topology_aware=True)
+        paths = pcie_host_paths(v100, v100.gpu(0), routes, "to_host")
+        # direct + 2 borrowed uplinks = 3x PCIe bandwidth.
+        assert len(paths) == 3
+        assert sum(p.nominal_bandwidth for p in paths) == pytest.approx(
+            3 * 12 * GB
+        )
+        for path in paths:
+            assert path.devices()[-1] == "n0.host"
+
+    def test_naive_relay_crosses_own_uplink_twice(self, v100):
+        routes = [
+            r
+            for r in select_pcie_routes(v100, v100.gpu(0), topology_aware=False)
+            if not r.via_nvlink
+        ]
+        paths = pcie_host_paths(
+            v100, v100.gpu(0), routes, "to_host", include_direct=False
+        )
+        relay = paths[0]
+        uplink_id = "n0.sw0>n0.host"
+        assert [l.link_id for l in relay.links].count(uplink_id) == 1
+        # The relay also re-enters through the peer switch: 6 hops total.
+        assert relay.hops == 6
+
+    def test_from_host_paths(self, v100):
+        routes = select_pcie_routes(v100, v100.gpu(0), topology_aware=True)
+        paths = pcie_host_paths(v100, v100.gpu(0), routes, "from_host")
+        for path in paths:
+            assert path.devices()[0] == "n0.host"
+            assert path.devices()[-1] == "n0.g0"
+
+    def test_a10_has_no_nvlink_routes(self):
+        cluster = make_cluster("a10")
+        node = cluster.nodes[0]
+        routes = select_pcie_routes(node, node.gpu(0), topology_aware=True)
+        assert routes == []
+
+
+class TestNicHarvesting:
+    def test_v100_gets_three_nic_lanes(self, v100_cluster):
+        src = v100_cluster.gpu("n0.g0")
+        dst = v100_cluster.gpu("n1.g0")
+        routes = select_nic_routes(v100_cluster, src, dst)
+        # nic0 (own switch) + nic1 via g2/g3 + nic2 via g4; nic3
+        # unreachable by NVLink from g0.
+        assert len(routes) == 3
+        assert routes[0].src_feeder.device_id == "n0.g0"
+
+    def test_a100_uses_all_eight_nics(self):
+        cluster = make_cluster("dgx-a100", num_nodes=2)
+        src, dst = cluster.gpu("n0.g0"), cluster.gpu("n1.g0")
+        routes = select_nic_routes(cluster, src, dst)
+        assert len(routes) == 8
+
+    def test_paths_start_and_end_at_gpus(self, v100_cluster):
+        src = v100_cluster.gpu("n0.g1")
+        dst = v100_cluster.gpu("n1.g2")
+        paths = parallel_nic_paths(v100_cluster, src, dst)
+        for path in paths:
+            assert path.devices()[0] == src.device_id
+            assert path.devices()[-1] == dst.device_id
+
+    def test_aggregate_nic_bandwidth(self, v100_cluster):
+        src, dst = v100_cluster.gpu("n0.g0"), v100_cluster.gpu("n1.g0")
+        paths = parallel_nic_paths(v100_cluster, src, dst)
+        nic_bw = 100e9 / 8
+        total = sum(p.nominal_bandwidth for p in paths)
+        assert total == pytest.approx(3 * nic_bw)
+
+    def test_max_nics_cap(self, v100_cluster):
+        src, dst = v100_cluster.gpu("n0.g0"), v100_cluster.gpu("n1.g0")
+        routes = select_nic_routes(v100_cluster, src, dst, max_nics=1)
+        assert len(routes) == 1
+
+    def test_mirrored_nic_indexes(self, v100_cluster):
+        src, dst = v100_cluster.gpu("n0.g0"), v100_cluster.gpu("n1.g0")
+        for route in select_nic_routes(v100_cluster, src, dst):
+            assert route.src_nic.index == route.dst_nic.index

@@ -1,0 +1,138 @@
+"""Tests for placement policies and pre-warming."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.common.units import GB
+from repro.scheduler import (
+    MapaPlacement,
+    PrewarmManager,
+    RandomPlacement,
+    RoundRobinPlacement,
+    make_placement,
+)
+from repro.topology import make_cluster
+from repro.workflow import get_workload
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("dgx-v100", num_nodes=2)
+
+
+@pytest.fixture
+def workflow():
+    return get_workload("traffic").workflow
+
+
+class TestRoundRobin:
+    def test_cycles_through_gpus(self, cluster, workflow):
+        policy = RoundRobinPlacement()
+        result = policy.place(workflow, cluster)
+        gpu_stages = [s.name for s in workflow.topological_order()
+                      if s.spec.is_gpu]
+        devices = [result.assignment[name] for name in gpu_stages]
+        # Five GPU stages over 16 GPUs: all distinct, in index order.
+        assert devices == [f"n0.g{i}" for i in range(len(gpu_stages))]
+
+    def test_state_persists_across_calls(self, cluster, workflow):
+        policy = RoundRobinPlacement()
+        first = policy.place(workflow, cluster)
+        second = policy.place(workflow, cluster)
+        assert set(first.assignment.values()).isdisjoint(
+            set(second.assignment.values())
+        )
+
+    def test_cpu_stages_not_assigned(self, cluster, workflow):
+        result = RoundRobinPlacement().place(workflow, cluster)
+        assert "video-decode" not in result.assignment
+        with pytest.raises(SchedulingError):
+            result.gpu_of("video-decode")
+
+
+class TestRandomPlacement:
+    def test_deterministic_per_seed(self, cluster, workflow):
+        a = RandomPlacement(seed=5).place(workflow, cluster)
+        b = RandomPlacement(seed=5).place(workflow, cluster)
+        assert a.assignment == b.assignment
+
+    def test_different_seeds_differ(self, cluster, workflow):
+        a = RandomPlacement(seed=1).place(workflow, cluster)
+        b = RandomPlacement(seed=2).place(workflow, cluster)
+        assert a.assignment != b.assignment
+
+    def test_respects_allowed_gpus(self, cluster, workflow):
+        allowed = [cluster.nodes[0].gpu(0), cluster.nodes[0].gpu(1)]
+        result = RandomPlacement(seed=0).place(
+            workflow, cluster, allowed_gpus=allowed
+        )
+        assert set(result.assignment.values()) <= {"n0.g0", "n0.g1"}
+
+
+class TestMapa:
+    def test_places_chain_on_linked_gpus(self, cluster):
+        workflow = get_workload("driving").workflow
+        node = cluster.nodes[0]
+        result = MapaPlacement().place(workflow, cluster)
+        chain = ["gpu-denoise", "unet-seg", "gpu-colorize"]
+        for up, down in zip(chain, chain[1:]):
+            a = cluster.gpu(result.assignment[up])
+            b = cluster.gpu(result.assignment[down])
+            assert (
+                a.device_id == b.device_id
+                or node.nvlink_capacity(a.index, b.index) > 0
+            )
+
+    def test_balances_load(self, cluster, workflow):
+        policy = MapaPlacement()
+        load = {}
+        for _ in range(8):
+            result = policy.place(workflow, cluster, load=load)
+            for device in result.assignment.values():
+                load[device] = load.get(device, 0) + 1
+        # Load spreads: no single GPU hoards all instances.
+        assert max(load.values()) < sum(load.values())
+
+    def test_empty_candidates_raise(self, cluster, workflow):
+        with pytest.raises(SchedulingError):
+            MapaPlacement().place(workflow, cluster, allowed_gpus=[])
+
+
+class TestFactory:
+    def test_make_placement(self):
+        assert isinstance(make_placement("mapa"), MapaPlacement)
+        assert isinstance(make_placement("round-robin"), RoundRobinPlacement)
+        assert isinstance(make_placement("random", seed=3), RandomPlacement)
+
+    def test_unknown_policy(self):
+        with pytest.raises(SchedulingError):
+            make_placement("tetris")
+
+
+class TestPrewarm:
+    def test_prewarmed_instance_is_free(self):
+        manager = PrewarmManager(keep_alive=60.0)
+        manager.prewarm("yolo#0", now=0.0)
+        assert manager.startup_penalty("yolo#0", now=10.0, model_bytes=1 * GB) == 0.0
+        assert manager.warm_hits == 1
+
+    def test_cold_start_pays_container_and_load(self):
+        manager = PrewarmManager(keep_alive=60.0, load_bandwidth=12 * GB)
+        penalty = manager.startup_penalty("new#1", now=0.0, model_bytes=12 * GB)
+        assert penalty == pytest.approx(manager.container_start + 1.0)
+        assert manager.cold_starts == 1
+
+    def test_warmth_expires(self):
+        manager = PrewarmManager(keep_alive=5.0)
+        manager.prewarm("fn#0", now=0.0)
+        assert manager.is_warm("fn#0", now=4.0)
+        assert not manager.is_warm("fn#0", now=6.0)
+        penalty = manager.startup_penalty("fn#0", now=6.0, model_bytes=0.0)
+        assert penalty > 0
+
+    def test_use_refreshes_warmth(self):
+        manager = PrewarmManager(keep_alive=5.0)
+        manager.prewarm("fn#0", now=0.0)
+        manager.startup_penalty("fn#0", now=4.0, model_bytes=0.0)
+        # The hit at t=4 restarted the keep-alive window.
+        assert manager.is_warm("fn#0", now=8.0)

@@ -1,0 +1,170 @@
+"""Edge-case tests for kernel semantics under failure and interruption."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Environment, Interrupt, Resource
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestFailurePropagation:
+    def test_any_of_failure_propagates(self, env):
+        good = env.timeout(5.0)
+        bad = env.event()
+        caught = []
+
+        def proc():
+            try:
+                yield env.any_of([good, bad])
+            except ValueError:
+                caught.append(env.now)
+
+        env.process(proc())
+        env.schedule(1.0, lambda: bad.fail(ValueError("x")))
+        env.run()
+        assert caught == [1.0]
+
+    def test_all_of_failure_propagates(self, env):
+        good = env.timeout(5.0)
+        bad = env.event()
+        caught = []
+
+        def proc():
+            try:
+                yield env.all_of([good, bad])
+            except KeyError:
+                caught.append(env.now)
+
+        env.process(proc())
+        env.schedule(2.0, lambda: bad.fail(KeyError("y")))
+        env.run()
+        assert caught == [2.0]
+
+    def test_fail_requires_exception_instance(self, env):
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_schedule_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.schedule(-1.0, lambda: None)
+
+    def test_nested_process_failure_chain(self, env):
+        # level3 raises -> level2 doesn't catch -> level1 catches.
+        def level3():
+            yield env.timeout(1.0)
+            raise RuntimeError("deep")
+
+        def level2():
+            yield env.process(level3())
+
+        def level1():
+            try:
+                yield env.process(level2())
+            except RuntimeError as error:
+                caught.append(str(error))
+
+        caught = []
+        env.process(level1())
+        env.run()
+        assert caught == ["deep"]
+
+
+class TestInterruptSemantics:
+    def test_interrupt_while_waiting_on_resource(self, env):
+        resource = Resource(env, capacity=1)
+        outcomes = []
+
+        def holder():
+            req = resource.request()
+            yield req
+            yield env.timeout(10.0)
+            resource.release(req)
+
+        def waiter():
+            req = resource.request()
+            try:
+                yield req
+                outcomes.append("granted")
+                resource.release(req)
+            except Interrupt:
+                resource.cancel(req)
+                outcomes.append("interrupted")
+
+        env.process(holder())
+        waiting = env.process(waiter())
+        env.schedule(1.0, lambda: waiting.interrupt("give up"))
+        env.run()
+        assert outcomes == ["interrupted"]
+        # The cancelled request must never consume the freed slot.
+        assert resource.count == 0
+        assert resource.queue_len == 0
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def proc():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                log.append(("intr", env.now))
+            yield env.timeout(1.0)
+            log.append(("done", env.now))
+
+        p = env.process(proc())
+        env.schedule(3.0, lambda: p.interrupt())
+        env.run()
+        assert log == [("intr", 3.0), ("done", 4.0)]
+
+    def test_interrupt_cause_carried(self, env):
+        causes = []
+
+        def proc():
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as intr:
+                causes.append(intr.cause)
+
+        p = env.process(proc())
+        env.schedule(1.0, lambda: p.interrupt({"reason": "preempted"}))
+        env.run()
+        assert causes == [{"reason": "preempted"}]
+
+
+class TestClockBoundaries:
+    def test_run_until_exact_event_time_fires_it(self, env):
+        fired = []
+
+        def proc():
+            yield env.timeout(5.0)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run(until=5.0)
+        assert fired == [5.0]
+        assert env.now == 5.0
+
+    def test_resume_after_partial_run(self, env):
+        order = []
+
+        def proc(tag, delay):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc("a", 1.0))
+        env.process(proc("b", 3.0))
+        env.run(until=2.0)
+        assert order == ["a"]
+        env.run()
+        assert order == ["a", "b"]
+
+    def test_peek_reflects_next_event(self, env):
+        def proc():
+            yield env.timeout(7.0)
+
+        env.process(proc())
+        env.run(until=1.0)
+        assert env.peek() == pytest.approx(7.0)

@@ -1,0 +1,222 @@
+"""Tests for Resource, Store, and Container."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Container, Environment, Resource, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_one_serializes(self, env):
+        resource = Resource(env, capacity=1)
+        spans = []
+
+        def user(tag, hold):
+            req = resource.request()
+            yield req
+            start = env.now
+            yield env.timeout(hold)
+            resource.release(req)
+            spans.append((tag, start, env.now))
+
+        env.process(user("a", 2.0))
+        env.process(user("b", 3.0))
+        env.run()
+        assert spans == [("a", 0.0, 2.0), ("b", 2.0, 5.0)]
+
+    def test_capacity_two_overlaps(self, env):
+        resource = Resource(env, capacity=2)
+        starts = []
+
+        def user(hold):
+            req = resource.request()
+            yield req
+            starts.append(env.now)
+            yield env.timeout(hold)
+            resource.release(req)
+
+        for _ in range(3):
+            env.process(user(4.0))
+        env.run()
+        assert starts == [0.0, 0.0, 4.0]
+
+    def test_priority_order(self, env):
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def holder():
+            req = resource.request()
+            yield req
+            yield env.timeout(1.0)
+            resource.release(req)
+
+        def user(tag, priority):
+            # Arrive while the holder owns the slot.
+            yield env.timeout(0.5)
+            req = resource.request(priority=priority)
+            yield req
+            order.append(tag)
+            resource.release(req)
+
+        env.process(holder())
+        env.process(user("low", priority=5.0))
+        env.process(user("high", priority=1.0))
+        env.run()
+        assert order == ["high", "low"]
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_release_foreign_request_raises(self, env):
+        r1, r2 = Resource(env), Resource(env)
+        req = r1.request()
+        with pytest.raises(SimulationError):
+            r2.release(req)
+
+    def test_cancel_queued_request(self, env):
+        resource = Resource(env, capacity=1)
+        held = resource.request()
+        assert held.triggered
+        queued = resource.request()
+        assert not queued.triggered
+        resource.cancel(queued)
+        resource.release(held)
+        env.run()
+        # The cancelled request must never be granted.
+        assert not queued.triggered
+        assert resource.count == 0
+
+    def test_count_and_queue_len(self, env):
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        resource.request()
+        assert resource.count == 1
+        assert resource.queue_len == 1
+        resource.release(first)
+        assert resource.count == 1  # queued request was granted
+        assert resource.queue_len == 0
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("item")
+        got = []
+
+        def getter():
+            value = yield store.get()
+            got.append(value)
+
+        env.process(getter())
+        env.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        got = []
+
+        def getter():
+            value = yield store.get()
+            got.append((env.now, value))
+
+        def putter():
+            yield env.timeout(2.0)
+            store.put("late")
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert got == [(2.0, "late")]
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+        for item in ("a", "b", "c"):
+            store.put(item)
+        got = []
+
+        def getter():
+            for _ in range(3):
+                value = yield store.get()
+                got.append(value)
+
+        env.process(getter())
+        env.run()
+        assert got == ["a", "b", "c"]
+
+    def test_peek_items_is_copy(self, env):
+        store = Store(env)
+        store.put("x")
+        snapshot = store.peek_items()
+        snapshot.append("y")
+        assert len(store) == 1
+
+
+class TestContainer:
+    def test_get_available_amount_is_immediate(self, env):
+        tank = Container(env, capacity=100.0, init=50.0)
+        got = []
+
+        def proc():
+            yield tank.get(30.0)
+            got.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert got == [0.0]
+        assert tank.level == 20.0
+
+    def test_get_blocks_until_put(self, env):
+        tank = Container(env, capacity=100.0, init=0.0)
+        got = []
+
+        def getter():
+            yield tank.get(40.0)
+            got.append(env.now)
+
+        def putter():
+            yield env.timeout(1.0)
+            tank.put(25.0)
+            yield env.timeout(1.0)
+            tank.put(25.0)
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert got == [2.0]
+
+    def test_put_clamps_at_capacity(self, env):
+        tank = Container(env, capacity=10.0, init=5.0)
+        tank.put(100.0)
+        assert tank.level == 10.0
+
+    def test_get_over_capacity_raises(self, env):
+        tank = Container(env, capacity=10.0)
+        with pytest.raises(SimulationError):
+            tank.get(11.0)
+
+    def test_fifo_head_of_line(self, env):
+        tank = Container(env, capacity=100.0, init=0.0)
+        order = []
+
+        def getter(tag, amount):
+            yield tank.get(amount)
+            order.append(tag)
+
+        env.process(getter("big", 50.0))
+        env.process(getter("small", 1.0))
+        env.schedule(1.0, lambda: tank.put(50.0))
+        env.schedule(2.0, lambda: tank.put(1.0))
+        env.run()
+        # FIFO: the big head-of-line request is served first even though
+        # the small one could have been satisfied earlier.
+        assert order == ["big", "small"]
+
+    def test_invalid_init(self, env):
+        with pytest.raises(SimulationError):
+            Container(env, capacity=5.0, init=10.0)

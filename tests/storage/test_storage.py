@@ -1,0 +1,205 @@
+"""Tests for data objects, catalogs, access control, and stores."""
+
+import pytest
+
+from repro.common.errors import AccessDeniedError, StorageError
+from repro.common.units import GB, MB
+from repro.memory import DeviceMemory, MemoryPool
+from repro.sim import Environment
+from repro.storage import (
+    AccessController,
+    DataCatalog,
+    DataObject,
+    GpuStore,
+    HostStore,
+    Placement,
+    Replica,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_object(object_id="obj-0", size=10 * MB, workflow_id="wf-0",
+                producer="fn-a", created_at=0.0):
+    return DataObject(
+        object_id=object_id,
+        size=size,
+        workflow_id=workflow_id,
+        producer=producer,
+        created_at=created_at,
+    )
+
+
+class TestDataObject:
+    def test_ref_round_trip(self):
+        obj = make_object()
+        ref = obj.to_ref()
+        assert ref.object_id == obj.object_id
+        assert ref.size == obj.size
+        assert ref.workflow_id == obj.workflow_id
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(StorageError):
+            make_object(size=0)
+
+    def test_replica_management(self):
+        obj = make_object()
+        obj.add_replica(Replica("n0.g0", Placement.GPU))
+        obj.add_replica(Replica("n0.host", Placement.HOST))
+        assert len(obj.gpu_replicas()) == 1
+        assert len(obj.host_replicas()) == 1
+        obj.drop_replica("n0.g0")
+        assert obj.replica_on("n0.g0") is None
+
+    def test_duplicate_replica_rejected(self):
+        obj = make_object()
+        obj.add_replica(Replica("n0.g0", Placement.GPU))
+        with pytest.raises(StorageError):
+            obj.add_replica(Replica("n0.g0", Placement.GPU))
+
+    def test_drop_missing_replica_raises(self):
+        with pytest.raises(StorageError):
+            make_object().drop_replica("n0.g0")
+
+    def test_consumption_tracking(self):
+        obj = make_object()
+        obj.expected_consumers = 2
+        obj.consumed_count = 1
+        assert not obj.fully_consumed
+        obj.consumed_count = 2
+        assert obj.fully_consumed
+
+
+class TestDataCatalog:
+    def test_register_and_local_lookup(self):
+        catalog = DataCatalog(["n0", "n1"])
+        obj = make_object()
+        catalog.register(obj, "n0")
+        node_id, found = catalog.lookup(obj.object_id, from_node="n0")
+        assert node_id == "n0"
+        assert found is obj
+        assert catalog.stats.local_hits == 1
+        assert catalog.stats.global_lookups == 0
+
+    def test_remote_lookup_hits_global_table(self):
+        catalog = DataCatalog(["n0", "n1"])
+        obj = make_object()
+        catalog.register(obj, "n0")
+        node_id, _ = catalog.lookup(obj.object_id, from_node="n1")
+        assert node_id == "n0"
+        assert catalog.stats.global_lookups == 1
+
+    def test_move_updates_tables(self):
+        catalog = DataCatalog(["n0", "n1"])
+        obj = make_object()
+        catalog.register(obj, "n0")
+        catalog.move(obj.object_id, "n1")
+        node_id, _ = catalog.lookup(obj.object_id, from_node="n1")
+        assert node_id == "n1"
+        assert catalog.stats.local_hits == 1
+
+    def test_unknown_object_raises(self):
+        catalog = DataCatalog(["n0"])
+        with pytest.raises(StorageError):
+            catalog.lookup("ghost", from_node="n0")
+
+    def test_duplicate_registration_raises(self):
+        catalog = DataCatalog(["n0"])
+        obj = make_object()
+        catalog.register(obj, "n0")
+        with pytest.raises(StorageError):
+            catalog.register(obj, "n0")
+
+    def test_unregister(self):
+        catalog = DataCatalog(["n0"])
+        obj = make_object()
+        catalog.register(obj, "n0")
+        catalog.unregister(obj.object_id)
+        assert obj.object_id not in catalog
+        assert len(catalog) == 0
+
+    def test_objects_on_node(self):
+        catalog = DataCatalog(["n0", "n1"])
+        a, b = make_object("a"), make_object("b")
+        catalog.register(a, "n0")
+        catalog.register(b, "n1")
+        assert catalog.objects_on("n0") == [a]
+
+
+class TestAccessController:
+    def test_member_access_allowed(self):
+        acl = AccessController()
+        acl.register_workflow("wf-0", ["det", "recog"])
+        acl.authorize("det", "wf-0", "wf-0")  # no exception
+        assert acl.denied_count == 0
+
+    def test_cross_workflow_access_denied(self):
+        acl = AccessController()
+        acl.register_workflow("wf-0", ["det"])
+        acl.register_workflow("wf-1", ["other"])
+        with pytest.raises(AccessDeniedError):
+            acl.authorize("other", "wf-1", "wf-0")
+        assert acl.denied_count == 1
+
+    def test_non_member_denied(self):
+        acl = AccessController()
+        acl.register_workflow("wf-0", ["det"])
+        with pytest.raises(AccessDeniedError):
+            acl.authorize("stranger", "wf-0", "wf-0")
+
+    def test_unknown_workflow_denied(self):
+        acl = AccessController()
+        with pytest.raises(AccessDeniedError):
+            acl.authorize("fn", "wf-x", "wf-x")
+
+
+class TestGpuStore:
+    def test_store_and_remove(self, env):
+        device = DeviceMemory(env, "n0.g0", capacity=16 * GB)
+        store = GpuStore(env, "n0.g0", MemoryPool(env, device))
+        obj = make_object(size=100 * MB)
+        store.store(obj)
+        env.run()
+        assert store.has(obj.object_id)
+        assert store.resident_bytes == 100 * MB
+        assert obj.replica_on("n0.g0") is not None
+        store.remove(obj)
+        assert not store.has(obj.object_id)
+        assert store.pool.in_use == 0
+
+    def test_double_store_raises(self, env):
+        device = DeviceMemory(env, "n0.g0", capacity=16 * GB)
+        store = GpuStore(env, "n0.g0", MemoryPool(env, device))
+        obj = make_object()
+        store.store(obj)
+        env.run()
+        with pytest.raises(StorageError):
+            store.store(obj)
+
+    def test_remove_missing_raises(self, env):
+        device = DeviceMemory(env, "n0.g0", capacity=16 * GB)
+        store = GpuStore(env, "n0.g0", MemoryPool(env, device))
+        with pytest.raises(StorageError):
+            store.remove(make_object())
+
+
+class TestHostStore:
+    def test_store_accounts_host_memory(self, env):
+        host_memory = DeviceMemory(env, "n0.host", capacity=244 * GB)
+        store = HostStore(env, "n0", host_memory)
+        obj = make_object(size=1 * GB)
+        store.store(obj)
+        assert store.has(obj.object_id)
+        assert host_memory.used == 1 * GB
+        store.remove(obj)
+        assert host_memory.used == 0
+
+    def test_replica_placement_is_host(self, env):
+        host_memory = DeviceMemory(env, "n0.host", capacity=244 * GB)
+        store = HostStore(env, "n0", host_memory)
+        obj = make_object()
+        store.store(obj)
+        assert obj.replica_on("n0.host").placement is Placement.HOST

@@ -1,0 +1,99 @@
+"""Edge-case tests for cluster construction and custom specs."""
+
+import pytest
+
+from repro.common.errors import TopologyError
+from repro.common.units import GB
+from repro.topology import (
+    FABRIC_ID,
+    ClusterTopology,
+    NodeSpec,
+    NodeTopology,
+    make_cluster,
+    nvlink_simple_paths,
+)
+
+
+class TestCustomSpecs:
+    def test_heterogeneous_cluster_rejected_duplicate_ids(self):
+        node_a = NodeTopology(make_cluster("a10").nodes[0].spec, 0)
+        node_b = NodeTopology(make_cluster("a10").nodes[0].spec, 0)
+        with pytest.raises(TopologyError):
+            ClusterTopology([node_a, node_b])
+
+    def test_mixed_cluster_supported(self):
+        v100 = make_cluster("dgx-v100").nodes[0].spec
+        a100 = make_cluster("dgx-a100").nodes[0].spec
+        cluster = ClusterTopology(
+            [NodeTopology(v100, 0), NodeTopology(a100, 1)]
+        )
+        assert cluster.nodes[0].spec.name == "dgx-v100"
+        assert cluster.nodes[1].spec.name == "dgx-a100"
+        assert len(cluster.all_gpus()) == 16
+
+    def test_custom_spec_via_make_cluster(self):
+        spec = NodeSpec(
+            name="custom",
+            num_gpus=2,
+            gpu_memory=8 * GB,
+            pcie_bandwidth=16 * GB,
+            switch_groups=((0,), (1,)),
+            nics_per_switch=1,
+            nic_bandwidth=10 * GB,
+            nvswitch_bandwidth=100 * GB,
+        )
+        cluster = make_cluster(spec=spec, num_nodes=3)
+        assert len(cluster.nodes) == 3
+        assert cluster.nodes[2].nvlink_capacity(0, 1) == 100 * GB
+
+    def test_single_gpu_node_has_no_nvlink_paths(self):
+        spec = NodeSpec(
+            name="single",
+            num_gpus=1,
+            gpu_memory=8 * GB,
+            pcie_bandwidth=16 * GB,
+            switch_groups=((0,),),
+            nics_per_switch=1,
+            nic_bandwidth=10 * GB,
+        )
+        node = NodeTopology(spec, 0)
+        assert not node.has_nvlink
+        assert node.nic_for_gpu(node.gpu(0)).device_id == "n0.nic0"
+
+
+class TestFabricEdges:
+    def test_unknown_fabric_link(self):
+        cluster = make_cluster("dgx-v100", num_nodes=2)
+        with pytest.raises(TopologyError):
+            cluster.link("n0.g0", FABRIC_ID)  # GPUs don't touch fabric
+
+    def test_unknown_node_lookup(self):
+        cluster = make_cluster("dgx-v100")
+        with pytest.raises(TopologyError):
+            cluster.node("n9")
+
+    def test_all_links_includes_fabric(self):
+        cluster = make_cluster("dgx-v100", num_nodes=2)
+        link_ids = {link.link_id for link in cluster.all_links()}
+        assert f"n0.nic0>{FABRIC_ID}" in link_ids
+        assert f"{FABRIC_ID}>n1.nic3" in link_ids
+
+
+class TestPathEnumerationBounds:
+    def test_max_hops_one_gives_only_direct(self):
+        cluster = make_cluster("dgx-v100")
+        node = cluster.nodes[0]
+        paths = nvlink_simple_paths(
+            node, node.gpu(0), node.gpu(3), max_hops=1
+        )
+        assert all(path.hops == 1 for path in paths)
+        assert len(paths) == 1
+
+    def test_unreachable_within_hop_budget(self):
+        cluster = make_cluster("dgx-v100")
+        node = cluster.nodes[0]
+        # GPU0-GPU5 need at least 2 hops.
+        paths = nvlink_simple_paths(
+            node, node.gpu(0), node.gpu(5), max_hops=1
+        )
+        assert paths == []

@@ -1,0 +1,146 @@
+"""Tests for node topologies and the four evaluation presets."""
+
+import pytest
+
+from repro.common.errors import TopologyError
+from repro.common.units import GB
+from repro.topology import (
+    NodeSpec,
+    NodeTopology,
+    a10_spec,
+    dgx_a100_spec,
+    dgx_v100_spec,
+    h800_spec,
+    node_spec,
+)
+
+
+@pytest.fixture
+def v100():
+    return NodeTopology(dgx_v100_spec(), 0)
+
+
+@pytest.fixture
+def a100():
+    return NodeTopology(dgx_a100_spec(), 0)
+
+
+class TestDgxV100:
+    def test_eight_gpus_16gb(self, v100):
+        assert len(v100.gpus) == 8
+        assert all(gpu.memory_capacity == 16 * GB for gpu in v100.gpus)
+
+    def test_each_gpu_has_six_nvlink_lanes(self, v100):
+        # V100 has exactly 6 NVLink ports; the cube-mesh uses all of them.
+        lane_bw = dgx_v100_spec().nvlink_lane_bandwidth
+        for index in range(8):
+            total = sum(
+                v100.nvlink_capacity(index, peer)
+                for peer in v100.nvlink_neighbors(index)
+            )
+            assert total == pytest.approx(6 * lane_bw)
+
+    def test_asymmetry_statistics_match_paper(self, v100):
+        """§3.2.2: 28% of pairs half bandwidth, 42% no direct NVLink."""
+        lane_bw = dgx_v100_spec().nvlink_lane_bandwidth
+        single, double, absent = 0, 0, 0
+        for a in range(8):
+            for b in range(a + 1, 8):
+                capacity = v100.nvlink_capacity(a, b)
+                if capacity == 0:
+                    absent += 1
+                elif capacity == pytest.approx(lane_bw):
+                    single += 1
+                else:
+                    double += 1
+        total = 28
+        assert absent == 12  # 42.9%
+        assert single == 8  # 28.6%
+        assert double == 8
+
+    def test_nvlink_symmetric(self, v100):
+        for a in range(8):
+            for b in range(8):
+                if a != b:
+                    assert v100.nvlink_capacity(a, b) == v100.nvlink_capacity(b, a)
+
+    def test_pcie_switch_pairs(self, v100):
+        assert v100.shares_pcie_switch(v100.gpu(0), v100.gpu(1))
+        assert not v100.shares_pcie_switch(v100.gpu(1), v100.gpu(2))
+        assert len(v100.switches) == 4
+
+    def test_four_nics(self, v100):
+        assert len(v100.nics) == 4
+
+    def test_nic_for_gpu_is_local_switch(self, v100):
+        nic = v100.nic_for_gpu(v100.gpu(2))
+        assert nic.device_id in v100.nics_of_switch(v100.switch_of(v100.gpu(2)))
+
+    def test_no_nvswitch(self, v100):
+        assert not v100.has_nvswitch
+        assert v100.has_nvlink
+
+    def test_duplex_links(self, v100):
+        gpu0, gpu3 = v100.gpu(0).device_id, v100.gpu(3).device_id
+        forward = v100.link(gpu0, gpu3)
+        backward = v100.link(gpu3, gpu0)
+        assert forward.capacity == backward.capacity
+        assert forward.link_id != backward.link_id
+
+    def test_missing_link_raises(self, v100):
+        # GPUs 0 and 5 lack direct NVLink in the cube mesh.
+        with pytest.raises(TopologyError):
+            v100.link(v100.gpu(0).device_id, v100.gpu(5).device_id)
+
+
+class TestDgxA100:
+    def test_nvswitch_uniform(self, a100):
+        assert a100.has_nvswitch
+        for a in range(8):
+            for b in range(8):
+                if a != b:
+                    assert a100.nvlink_capacity(a, b) == pytest.approx(300 * GB)
+
+    def test_eight_nics(self, a100):
+        assert len(a100.nics) == 8
+
+    def test_gpu_memory(self, a100):
+        assert a100.gpu(0).memory_capacity == 40 * GB
+
+
+class TestOtherPresets:
+    def test_a10_has_no_nvlink(self):
+        node = NodeTopology(a10_spec(), 0)
+        assert not node.has_nvlink
+        assert not node.has_nvswitch
+        assert len(node.gpus) == 4
+        # Each GPU on its own switch: no shared-uplink contention pairs.
+        assert len(node.switches) == 4
+
+    def test_h800_nvswitch_200gbps(self):
+        node = NodeTopology(h800_spec(), 0)
+        assert node.has_nvswitch
+        assert node.nvlink_capacity(0, 7) == pytest.approx(200 * GB)
+
+    def test_node_spec_lookup(self):
+        assert node_spec("dgx-v100").name == "dgx-v100"
+        with pytest.raises(TopologyError):
+            node_spec("tpu-v5")
+
+    def test_bad_switch_groups_rejected(self):
+        spec = NodeSpec(
+            name="bad",
+            num_gpus=4,
+            gpu_memory=1 * GB,
+            pcie_bandwidth=1 * GB,
+            switch_groups=((0, 1),),  # GPUs 2,3 uncovered
+            nics_per_switch=1,
+            nic_bandwidth=1 * GB,
+        )
+        with pytest.raises(TopologyError):
+            NodeTopology(spec, 0)
+
+    def test_gpu_index_out_of_range(self):
+        node = NodeTopology(a10_spec(), 0)
+        with pytest.raises(TopologyError):
+            node.gpu(9)

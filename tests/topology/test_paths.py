@@ -1,0 +1,165 @@
+"""Tests for cluster construction and path helpers."""
+
+import pytest
+
+from repro.common.errors import RoutingError, TopologyError
+from repro.common.units import GB
+from repro.topology import (
+    FABRIC_ID,
+    cross_node_gdr_path,
+    gpu_p2p_pcie_path,
+    gpu_to_host_path,
+    host_to_gpu_path,
+    host_to_host_path,
+    make_cluster,
+    nvlink_direct_path,
+    nvlink_simple_paths,
+)
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("dgx-v100", num_nodes=2)
+
+
+@pytest.fixture
+def node(cluster):
+    return cluster.nodes[0]
+
+
+class TestCluster:
+    def test_two_nodes(self, cluster):
+        assert len(cluster.nodes) == 2
+        assert len(cluster.all_gpus()) == 16
+
+    def test_node_of_device(self, cluster):
+        assert cluster.node_of_device("n1.g3").node_id == "n1"
+
+    def test_gpu_lookup(self, cluster):
+        gpu = cluster.gpu("n0.g5")
+        assert gpu.index == 5
+
+    def test_unknown_gpu_raises(self, cluster):
+        with pytest.raises(TopologyError):
+            cluster.gpu("n0.g99")
+
+    def test_fabric_links_exist_per_nic(self, cluster):
+        link = cluster.link("n0.nic0", FABRIC_ID)
+        assert link.capacity == pytest.approx(100e9 / 8)
+        back = cluster.link(FABRIC_ID, "n1.nic2")
+        assert back.dst == "n1.nic2"
+
+    def test_same_node(self, cluster):
+        assert cluster.same_node("n0.g0", "n0.host")
+        assert not cluster.same_node("n0.g0", "n1.g0")
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(TopologyError):
+            make_cluster("dgx-v100", num_nodes=0)
+
+
+class TestNvlinkPaths:
+    def test_direct_path_exists_for_linked_pair(self, node):
+        path = nvlink_direct_path(node, node.gpu(0), node.gpu(3))
+        assert path is not None
+        assert path.hops == 1
+        assert path.nominal_bandwidth == pytest.approx(48 * GB)
+
+    def test_direct_path_absent_for_unlinked_pair(self, node):
+        assert nvlink_direct_path(node, node.gpu(0), node.gpu(5)) is None
+
+    def test_self_path_raises(self, node):
+        with pytest.raises(RoutingError):
+            nvlink_direct_path(node, node.gpu(0), node.gpu(0))
+
+    def test_simple_paths_shortest_first(self, node):
+        paths = nvlink_simple_paths(node, node.gpu(0), node.gpu(3), max_hops=2)
+        assert paths[0].hops == 1
+        assert all(
+            earlier.hops <= later.hops
+            for earlier, later in zip(paths, paths[1:])
+        )
+
+    def test_simple_paths_for_weak_pair(self, node):
+        # GPU0-GPU5 have no direct link; 2-hop paths must exist.
+        paths = nvlink_simple_paths(node, node.gpu(0), node.gpu(5), max_hops=2)
+        assert paths
+        assert all(path.hops == 2 for path in paths)
+
+    def test_nvswitch_node_single_hub_path(self):
+        cluster = make_cluster("dgx-a100")
+        node = cluster.nodes[0]
+        paths = nvlink_simple_paths(node, node.gpu(0), node.gpu(7))
+        assert len(paths) == 1
+        assert paths[0].devices() == ["n0.g0", "n0.nvsw", "n0.g7"]
+
+
+class TestPciePaths:
+    def test_gpu_to_host(self, node):
+        path = gpu_to_host_path(node, node.gpu(0))
+        assert path.devices() == ["n0.g0", "n0.sw0", "n0.host"]
+        assert path.nominal_bandwidth == pytest.approx(12 * GB)
+
+    def test_host_to_gpu(self, node):
+        path = host_to_gpu_path(node, node.gpu(6))
+        assert path.devices() == ["n0.host", "n0.sw3", "n0.g6"]
+
+    def test_p2p_same_switch_avoids_host(self, node):
+        path = gpu_p2p_pcie_path(node, node.gpu(0), node.gpu(1))
+        assert "n0.host" not in path.devices()
+        assert path.hops == 2
+
+    def test_p2p_cross_switch_crosses_host(self, node):
+        path = gpu_p2p_pcie_path(node, node.gpu(0), node.gpu(2))
+        assert "n0.host" in path.devices()
+        assert path.hops == 4
+
+    def test_p2p_self_raises(self, node):
+        with pytest.raises(RoutingError):
+            gpu_p2p_pcie_path(node, node.gpu(0), node.gpu(0))
+
+
+class TestCrossNodePaths:
+    def test_gdr_path_structure(self, cluster):
+        src = cluster.gpu("n0.g1")
+        dst = cluster.gpu("n1.g2")
+        path = cross_node_gdr_path(cluster, src, dst)
+        devices = path.devices()
+        assert devices[0] == "n0.g1"
+        assert devices[-1] == "n1.g2"
+        assert FABRIC_ID in devices
+        assert "n0.host" not in devices  # GPUDirect bypasses host
+
+    def test_gdr_bottleneck_is_nic(self, cluster):
+        src, dst = cluster.gpu("n0.g0"), cluster.gpu("n1.g0")
+        path = cross_node_gdr_path(cluster, src, dst)
+        assert path.nominal_bandwidth == pytest.approx(100e9 / 8)
+
+    def test_gdr_same_node_raises(self, cluster):
+        with pytest.raises(RoutingError):
+            cross_node_gdr_path(
+                cluster, cluster.gpu("n0.g0"), cluster.gpu("n0.g1")
+            )
+
+    def test_explicit_nics(self, cluster):
+        src, dst = cluster.gpu("n0.g0"), cluster.gpu("n1.g0")
+        src_node, dst_node = cluster.nodes[0], cluster.nodes[1]
+        path = cross_node_gdr_path(
+            cluster, src, dst,
+            src_nic=src_node.nics[3], dst_nic=dst_node.nics[3],
+        )
+        devices = path.devices()
+        assert "n0.nic3" in devices
+        assert "n1.nic3" in devices
+        # A non-local NIC forces a trip through the host root complex.
+        assert "n0.host" in devices
+
+    def test_host_to_host(self, cluster):
+        path = host_to_host_path(cluster, cluster.nodes[0], cluster.nodes[1])
+        devices = path.devices()
+        assert devices[0] == "n0.host"
+        assert devices[-1] == "n1.host"
+
+    def test_host_to_host_same_node_raises(self, cluster):
+        with pytest.raises(RoutingError):
+            host_to_host_path(cluster, cluster.nodes[0], cluster.nodes[0])

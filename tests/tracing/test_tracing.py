@@ -1,0 +1,116 @@
+"""Tests for request span tracing and Gantt rendering."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.dataplane import make_plane
+from repro.platform import ServerlessPlatform
+from repro.sim import Environment
+from repro.topology import make_cluster
+from repro.tracing import KINDS, Span, SpanTracer
+from repro.workflow import get_workload
+
+
+class TestSpan:
+    def test_duration(self):
+        span = Span("r", "s", "exec", 1.0, 3.0)
+        assert span.duration == 2.0
+
+    def test_invalid_kind(self):
+        with pytest.raises(ConfigError):
+            Span("r", "s", "sleep", 0.0, 1.0)
+
+    def test_backwards_span(self):
+        with pytest.raises(ConfigError):
+            Span("r", "s", "exec", 2.0, 1.0)
+
+
+class TestTracer:
+    def test_spans_sorted_by_time(self):
+        tracer = SpanTracer()
+        tracer.record("r", "b", "exec", 2.0, 3.0)
+        tracer.record("r", "a", "get", 0.0, 1.0)
+        spans = tracer.spans("r")
+        assert [s.stage for s in spans] == ["a", "b"]
+
+    def test_totals_by_kind(self):
+        tracer = SpanTracer()
+        tracer.record("r", "a", "get", 0.0, 1.0)
+        tracer.record("r", "b", "get", 2.0, 2.5)
+        tracer.record("r", "a", "exec", 1.0, 2.0)
+        totals = tracer.total_by_kind("r")
+        assert totals["get"] == pytest.approx(1.5)
+        assert totals["exec"] == pytest.approx(1.0)
+        assert totals["put"] == 0.0
+
+    def test_gantt_empty_request(self):
+        assert "no spans" in SpanTracer().gantt("ghost")
+
+    def test_gantt_renders_rows_and_glyphs(self):
+        tracer = SpanTracer()
+        tracer.record("r", "stage", "get", 0.0, 0.5)
+        tracer.record("r", "stage", "exec", 0.5, 1.0)
+        chart = tracer.gantt("r", width=20)
+        lines = chart.splitlines()
+        assert len(lines) == 3
+        assert "<" in lines[1]
+        assert "#" in lines[2]
+
+    def test_requests_listing(self):
+        tracer = SpanTracer()
+        tracer.record("r2", "s", "exec", 0.0, 1.0)
+        tracer.record("r1", "s", "exec", 0.0, 1.0)
+        assert tracer.requests() == ["r1", "r2"]
+
+    def test_summary_mentions_nonzero_kinds_only(self):
+        tracer = SpanTracer()
+        tracer.record("r", "s", "exec", 0.0, 1.0)
+        summary = tracer.summary("r")
+        assert "exec=1000.00ms" in summary
+        assert "put" not in summary
+
+
+class TestPlatformIntegration:
+    def test_platform_emits_spans_per_stage(self):
+        env = Environment()
+        cluster = make_cluster("dgx-v100")
+        plane = make_plane("grouter", env, cluster)
+        platform = ServerlessPlatform(env, cluster, plane)
+        platform.tracer = SpanTracer()
+        deployment = platform.deploy(get_workload("driving"))
+        proc = platform.submit(deployment)
+        env.run()
+        request_id = proc.value.request_id
+        spans = platform.tracer.spans(request_id)
+        stages = {s.stage for s in spans}
+        assert stages == {"gpu-denoise", "unet-seg", "gpu-colorize"}
+        kinds = {s.kind for s in spans}
+        assert {"get", "exec", "put"} <= kinds
+
+    def test_span_totals_match_stage_records(self):
+        env = Environment()
+        cluster = make_cluster("dgx-v100")
+        plane = make_plane("infless+", env, cluster)
+        platform = ServerlessPlatform(env, cluster, plane)
+        platform.tracer = SpanTracer()
+        deployment = platform.deploy(get_workload("driving"))
+        proc = platform.submit(deployment)
+        env.run()
+        result = proc.value
+        totals = platform.tracer.total_by_kind(result.request_id)
+        assert totals["exec"] == pytest.approx(result.compute_time)
+        recorded_get = sum(
+            r.get_time for r in result.stage_records.values()
+        )
+        assert totals["get"] == pytest.approx(recorded_get)
+
+    def test_tracing_off_by_default(self):
+        env = Environment()
+        cluster = make_cluster("dgx-v100")
+        plane = make_plane("grouter", env, cluster)
+        platform = ServerlessPlatform(env, cluster, plane)
+        assert platform.tracer is None
+        deployment = platform.deploy(get_workload("driving"))
+        proc = platform.submit(deployment)
+        env.run()
+        assert proc.ok

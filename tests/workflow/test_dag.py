@@ -1,0 +1,150 @@
+"""Tests for workflow DAGs and the evaluation workload suite."""
+
+import pytest
+
+from repro.common.errors import ConfigError, WorkflowError
+from repro.functions import get_spec
+from repro.workflow import (
+    WORKLOADS,
+    Edge,
+    Stage,
+    Workflow,
+    get_workload,
+    traffic_workload,
+    video_workload,
+)
+
+
+def simple_stages():
+    return [
+        Stage("a", get_spec("gpu-denoise")),
+        Stage("b", get_spec("unet-seg")),
+        Stage("c", get_spec("gpu-colorize")),
+    ]
+
+
+class TestWorkflowValidation:
+    def test_valid_chain(self):
+        wf = Workflow("chain", simple_stages(), [Edge("a", "b"), Edge("b", "c")])
+        assert len(wf) == 3
+        assert [s.name for s in wf.entry_stages] == ["a"]
+        assert [s.name for s in wf.exit_stages] == ["c"]
+
+    def test_cycle_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow(
+                "loop",
+                simple_stages(),
+                [Edge("a", "b"), Edge("b", "c"), Edge("c", "a")],
+            )
+
+    def test_duplicate_stage_rejected(self):
+        stages = simple_stages() + [Stage("a", get_spec("yolo-det"))]
+        with pytest.raises(WorkflowError):
+            Workflow("dup", stages, [])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow("bad", simple_stages(), [Edge("a", "ghost")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow("dup-edge", simple_stages(), [Edge("a", "b"), Edge("a", "b")])
+
+    def test_empty_workflow_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow("empty", [], [])
+
+    def test_invalid_fraction(self):
+        with pytest.raises(WorkflowError):
+            Edge("a", "b", fraction=0.0)
+        with pytest.raises(WorkflowError):
+            Edge("a", "b", fraction=1.5)
+
+    def test_invalid_probability(self):
+        with pytest.raises(WorkflowError):
+            Edge("a", "b", probability=0.0)
+
+
+class TestWorkflowQueries:
+    @pytest.fixture
+    def wf(self):
+        return traffic_workload().workflow
+
+    def test_topological_order(self, wf):
+        order = [s.name for s in wf.topological_order()]
+        assert order.index("video-decode") < order.index("yolo-det")
+        assert order.index("yolo-det") < order.index("person-rec")
+
+    def test_predecessors_successors(self, wf):
+        assert wf.predecessors("yolo-det") == ["gpu-preprocess"]
+        assert wf.successors("gpu-postprocess") == ["car-rec", "person-rec"]
+
+    def test_edge_lookup(self, wf):
+        edge = wf.edge("gpu-postprocess", "person-rec")
+        assert edge.fraction == 0.5
+        assert edge.probability == 0.9
+        with pytest.raises(WorkflowError):
+            wf.edge("person-rec", "car-rec")
+
+    def test_gpu_cpu_partition(self, wf):
+        gpu_names = {s.name for s in wf.gpu_stages()}
+        cpu_names = {s.name for s in wf.cpu_stages()}
+        assert "video-decode" in cpu_names
+        assert "yolo-det" in gpu_names
+        assert gpu_names | cpu_names == set(wf.function_names())
+
+    def test_unknown_stage_raises(self, wf):
+        with pytest.raises(WorkflowError):
+            wf.predecessors("ghost")
+
+
+class TestWorkloadSuite:
+    def test_five_cv_workloads_registered(self):
+        assert set(WORKLOADS) == {
+            "traffic", "driving", "video", "image", "recognition"
+        }
+
+    def test_all_workloads_build(self):
+        for name in WORKLOADS:
+            spec = get_workload(name)
+            assert spec.workflow.name == name
+            assert spec.input_size() > 0
+            assert spec.workflow.entry_stages
+            assert spec.workflow.exit_stages
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigError):
+            get_workload("nonexistent")
+
+    def test_traffic_is_conditional(self):
+        wf = traffic_workload().workflow
+        probs = [e.probability for e in wf.out_edges("gpu-postprocess")]
+        assert all(p < 1.0 for p in probs)
+
+    def test_video_fan_out_fan_in(self):
+        spec = video_workload(parallel_detectors=4)
+        wf = spec.workflow
+        assert len(wf.successors("chunk-split")) == 4
+        assert len(wf.predecessors("face-rec")) == 4
+        # The split divides the chunk evenly.
+        fractions = [e.fraction for e in wf.out_edges("chunk-split")]
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_video_detector_count_configurable(self):
+        assert len(video_workload(parallel_detectors=2).workflow) == 4
+
+    def test_video_invalid_detectors(self):
+        with pytest.raises(ConfigError):
+            video_workload(parallel_detectors=0)
+
+    def test_image_broadcast_fan_out(self):
+        wf = get_workload("image").workflow
+        for edge in wf.out_edges("gpu-denoise"):
+            assert edge.fraction == 1.0
+
+    def test_driving_is_linear_gpu_sequence(self):
+        wf = get_workload("driving").workflow
+        assert len(wf.cpu_stages()) == 0
+        assert len(wf.entry_stages) == 1
+        assert len(wf.exit_stages) == 1
