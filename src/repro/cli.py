@@ -218,6 +218,33 @@ def _cmd_workloads(_args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.report import metrics_summary_table
+    from repro.telemetry import capture
+
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment: {args.experiment}", file=sys.stderr)
+        print(f"choose from: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    _description, full, quick = EXPERIMENTS[args.experiment]
+    with capture() as session:
+        tables = quick() if args.quick else full()
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    doc = session.export_chrome_trace(args.out)
+    print(f"wrote {args.out}: {len(doc['traceEvents'])} trace events "
+          f"from {session.run_count} run(s) "
+          f"(open in ui.perfetto.dev or chrome://tracing)")
+    print()
+    print(render(metrics_summary_table(session.metrics), args.format))
+    if not args.quiet:
+        for table in tables:
+            print()
+            print(render(table, args.format))
+    return 0
+
+
 def _cmd_validate(_args) -> int:
     from repro.validate import run_scorecard
 
@@ -245,6 +272,19 @@ def build_parser() -> argparse.ArgumentParser:
     topo = sub.add_parser("topo", help="describe a topology preset")
     topo.add_argument("preset")
 
+    trace = sub.add_parser(
+        "trace",
+        help="run an experiment with telemetry; export a Perfetto trace",
+    )
+    trace.add_argument("experiment")
+    trace.add_argument("--quick", action="store_true",
+                       help="scaled-down parameters")
+    trace.add_argument("--out", default="trace.json",
+                       help="trace file to write (Chrome trace_event JSON)")
+    trace.add_argument("--format", choices=FORMATS, default="table")
+    trace.add_argument("--quiet", action="store_true",
+                       help="skip the experiment's own result tables")
+
     sub.add_parser("workloads", help="describe the workflow suite")
 
     sub.add_parser(
@@ -260,6 +300,7 @@ def main(argv=None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "topo": _cmd_topo,
+        "trace": _cmd_trace,
         "workloads": _cmd_workloads,
         "validate": _cmd_validate,
     }

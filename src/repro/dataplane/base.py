@@ -30,8 +30,9 @@ from repro.net.transfer import Path, TransferEngine
 from repro.sim.core import Environment, Process
 from repro.sim.resources import Container
 from repro.storage.catalog import AccessController, DataCatalog
-from repro.storage.objects import DataObject, DataRef, Placement
+from repro.storage.objects import DataObject, DataRef
 from repro.storage.stores import GpuStore, HostStore
+from repro.telemetry.events import RouteSelected, StoreEvict, StoreGet
 from repro.topology.cluster import ClusterTopology
 from repro.workflow.dag import Workflow
 
@@ -198,7 +199,24 @@ class DataPlane(abc.ABC):
     def get(self, ctx: FnContext, ref: DataRef) -> Process:
         """Materialize *ref* on *ctx*'s device; yields a GetResult."""
         self.metrics.gets += 1
-        return self.env.process(self._get(ctx, ref))
+        if self.env.telemetry is None:
+            return self.env.process(self._get(ctx, ref))
+        return self.env.process(self._get_published(ctx, ref))
+
+    def _get_published(self, ctx: FnContext, ref: DataRef):
+        """Generator: run ``_get`` and publish its outcome on the bus."""
+        result: GetResult = yield from self._get(ctx, ref)
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(StoreGet(
+                t=self.env.now,
+                object_id=ref.object_id,
+                device_id=ctx.device_id,
+                size=ref.size,
+                category=result.category,
+                latency=result.latency,
+            ))
+        return result
 
     def delete(self, ref: DataRef) -> None:
         """Explicitly drop an object (normally automatic on consumption)."""
@@ -337,6 +355,17 @@ class DataPlane(abc.ABC):
     ):
         """Generator: execute a transfer and record it in metrics."""
         started = self.env.now
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(RouteSelected(
+                t=started,
+                category=category,
+                src=src,
+                dst=dst,
+                routes=tuple(
+                    "->".join(path.devices()) for path in paths
+                ),
+            ))
         use_chunked = self.chunked if chunked is None else chunked
         pinned = self.pinned[pinned_node] if pinned_node is not None else None
         yield self.engine.transfer(
@@ -507,6 +536,20 @@ class DataPlane(abc.ABC):
             return
         self.gpu_stores[gpu_device_id].remove(obj)
         self._store_on_host(obj, node.node_id)
+        self._publish_evict(obj, gpu_device_id, node.host.device_id)
+
+    def _publish_evict(
+        self, obj: DataObject, src_device: str, dst_device: str
+    ) -> None:
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(StoreEvict(
+                t=self.env.now,
+                object_id=obj.object_id,
+                src_device=src_device,
+                dst_device=dst_device,
+                size=obj.size,
+            ))
 
     # -- memory introspection ----------------------------------------------------
     def storage_bytes_on(self, gpu_device_id: str) -> float:

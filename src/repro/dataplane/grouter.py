@@ -363,6 +363,7 @@ class GRouterPlane(DataPlane):
             return
         self.gpu_stores[gpu_device_id].remove(obj)
         self._store_on_host(obj, node.node_id)
+        self._publish_evict(obj, gpu_device_id, node.host.device_id)
 
     def _restore_pass(self, node: NodeTopology):
         """Bring migrated-but-soon-needed objects back to GPU memory."""

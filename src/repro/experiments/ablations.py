@@ -11,7 +11,6 @@
 from __future__ import annotations
 
 from repro.common.units import MB
-from repro.dataplane import GRouterPlane
 from repro.experiments.harness import (
     ExperimentTable,
     build_testbed,

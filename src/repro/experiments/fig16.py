@@ -8,7 +8,7 @@ with everything off on DGX-V100 and 1.30-1.61x on DGX-A100.
 
 from __future__ import annotations
 
-from repro.experiments.harness import ExperimentTable, mean, p99
+from repro.experiments.harness import ExperimentTable, mean
 from repro.experiments.harness import build_testbed
 from repro.traces import make_trace
 from repro.workflow import get_workload

@@ -18,7 +18,7 @@ from repro.functions import FnContext, FunctionInstance, get_spec
 from repro.platform import RequestResult, ServerlessPlatform
 from repro.sim import Environment, Resource
 from repro.topology import ClusterTopology, make_cluster
-from repro.traces import Trace, make_trace
+from repro.traces import make_trace
 from repro.workflow import WorkloadSpec, get_workload
 from repro.workflow.dag import Workflow
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.errors import SchedulingError
-from repro.functions.spec import DeviceKind, FunctionSpec
+from repro.functions.spec import FunctionSpec
 from repro.sim.core import Environment, Process
 from repro.sim.resources import Resource
 from repro.topology.devices import Gpu

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from repro.common.errors import ConfigError
 from repro.llm.models import LlmSpec
 from repro.net.network import FlowNetwork
-from repro.net.transfer import Path, TransferEngine
+from repro.net.transfer import TransferEngine
 from repro.routing.harvest import parallel_nic_paths
 from repro.sim.core import Environment
 from repro.topology.cluster import ClusterTopology, make_cluster

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.common.errors import AllocationError
 from repro.memory.device import AllocationCostModel, DeviceMemory
 from repro.sim.core import Environment, Process
+from repro.telemetry.events import PoolAlloc, PoolFree, PoolTrim
 
 POOL_TAG = "storage-pool"
 
@@ -82,7 +83,8 @@ class MemoryPool:
         return self.env.process(self._alloc(size))
 
     def _alloc(self, size: float):
-        if self.idle_reserved >= size:
+        grew = self.idle_reserved < size
+        if not grew:
             yield self.env.timeout(self.cost_model.pool_hit)
         else:
             growth = size - self.idle_reserved
@@ -94,6 +96,16 @@ class MemoryPool:
             self.peak_reserved = max(self.peak_reserved, self._reserved)
             yield self.env.timeout(self.cost_model.malloc_latency(growth))
         self._in_use += size
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(PoolAlloc(
+                t=self.env.now,
+                device_id=self.device.device_id,
+                size=size,
+                reserved=self._reserved,
+                in_use=self._in_use,
+                grew=grew,
+            ))
         return PoolAllocation(next(MemoryPool._ids), size, self)
 
     def free(self, allocation: PoolAllocation) -> None:
@@ -106,6 +118,15 @@ class MemoryPool:
         self._in_use -= allocation.size
         if self._in_use < -1e-6:
             raise AllocationError("pool in_use went negative")
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(PoolFree(
+                t=self.env.now,
+                device_id=self.device.device_id,
+                size=allocation.size,
+                reserved=self._reserved,
+                in_use=self._in_use,
+            ))
 
     def prewarm(self, size: float) -> None:
         """Reserve *size* bytes up front with no simulated latency.
@@ -136,6 +157,15 @@ class MemoryPool:
         self.device.release(self.tag, excess)
         self._reserved -= excess
         yield self.env.timeout(self.cost_model.free_latency(excess))
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(PoolTrim(
+                t=self.env.now,
+                device_id=self.device.device_id,
+                released=excess,
+                reserved=self._reserved,
+                in_use=self._in_use,
+            ))
         return excess
 
     def reclaim_all(self) -> Process:

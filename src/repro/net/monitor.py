@@ -5,6 +5,11 @@ bandwidth usage in real time" (§4.3.3).  This monitor is the
 observability side of that: it samples each watched link's allocated
 rate on a fixed period into a :class:`~repro.metrics.Timeline`, so
 experiments can plot PCIe/NIC saturation over a run.
+
+When the environment has a telemetry bus (:mod:`repro.telemetry`),
+the monitor is additionally a bus consumer: every flow start/finish
+that touches a watched link triggers an extra sample, so the timeline
+captures exact utilization transitions between periodic ticks.
 """
 
 from __future__ import annotations
@@ -15,7 +20,8 @@ from repro.common.errors import ConfigError
 from repro.metrics.stats import Timeline
 from repro.net.links import Link
 from repro.net.network import FlowNetwork
-from repro.sim.core import Environment
+from repro.sim.core import Environment, Interrupt, Process
+from repro.telemetry.events import FlowFinished, FlowStarted
 
 
 class LinkUtilizationMonitor:
@@ -41,36 +47,69 @@ class LinkUtilizationMonitor:
         self.timelines: dict[str, Timeline] = {
             link.link_id: Timeline() for link in self.links
         }
+        self._watched_ids = {link.link_id for link in self.links}
         self._running = False
+        self._process: Optional[Process] = None
+        self._subscribed = False
 
     def start(self) -> None:
         """Begin sampling (idempotent).
 
         With a *horizon* the monitor stops by itself; without one it
-        samples until :meth:`stop` — callers driving ``env.run()``
-        without an ``until`` should set a horizon so the queue drains.
+        samples until :meth:`stop`.
         """
         if self._running:
             return
         self._running = True
-        self.env.process(self._sample_loop())
+        self._process = self.env.process(self._sample_loop())
+        bus = self.env.telemetry
+        if bus is not None and not self._subscribed:
+            bus.subscribe(FlowStarted, self._on_flow_change)
+            bus.subscribe(FlowFinished, self._on_flow_change)
+            self._subscribed = True
 
     def stop(self) -> None:
+        """Stop sampling immediately (idempotent).
+
+        Interrupts the sampling process so its pending timeout no
+        longer drives the event queue — ``env.run()`` without an
+        ``until`` drains even when the monitor had no horizon.
+        """
         self._running = False
+        process = self._process
+        self._process = None
+        if process is not None and process.is_alive:
+            process.interrupt("monitor stopped")
+        bus = self.env.telemetry
+        if bus is not None and self._subscribed:
+            bus.unsubscribe(FlowStarted, self._on_flow_change)
+            bus.unsubscribe(FlowFinished, self._on_flow_change)
+            self._subscribed = False
 
     def _sample_loop(self):
-        while self._running:
-            if self.horizon is not None and self.env.now >= self.horizon:
-                self._running = False
-                return
-            for link in self.links:
-                utilization = (
-                    self.network.allocated_on(link) / link.capacity
-                )
-                self.timelines[link.link_id].sample(
-                    self.env.now, utilization
-                )
-            yield self.env.timeout(self.interval)
+        try:
+            while self._running:
+                if self.horizon is not None and self.env.now >= self.horizon:
+                    self._running = False
+                    return
+                self._sample_all()
+                yield self.env.timeout(self.interval)
+        except Interrupt:
+            return
+
+    def _sample_all(self) -> None:
+        for link in self.links:
+            utilization = self.network.allocated_on(link) / link.capacity
+            self.timelines[link.link_id].sample(self.env.now, utilization)
+
+    def _on_flow_change(self, event) -> None:
+        """Bus consumer: resample when a flow touches a watched link."""
+        if not self._running:
+            return
+        if self.horizon is not None and self.env.now >= self.horizon:
+            return
+        if self._watched_ids.intersection(event.links):
+            self._sample_all()
 
     # -- reporting ------------------------------------------------------------
     def peak(self, link: Link) -> float:
@@ -82,6 +121,7 @@ class LinkUtilizationMonitor:
     def busiest(self) -> tuple[Link, float]:
         """The watched link with the highest mean utilization."""
         best = max(
-            self.links, key=lambda l: self.timelines[l.link_id].mean
+            self.links,
+            key=lambda link: self.timelines[link.link_id].mean,
         )
         return best, self.timelines[best.link_id].mean

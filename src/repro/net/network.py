@@ -26,6 +26,7 @@ from typing import Iterable, Optional, Sequence
 from repro.common.errors import SimulationError
 from repro.net.links import Link
 from repro.sim.core import Environment, Event
+from repro.telemetry.events import FlowFinished, FlowStarted
 
 _EPS = 1e-9
 
@@ -199,6 +200,17 @@ class FlowNetwork:
         for link in flow.path:
             self._links[link.link_id].flows.add(flow)
         self._reallocate()
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(FlowStarted(
+                t=self.env.now,
+                flow_id=flow.flow_id,
+                tag=flow.tag,
+                size=flow.size,
+                links=tuple(link.link_id for link in flow.path),
+                src=flow.path[0].src,
+                dst=flow.path[-1].dst,
+            ))
         return flow
 
     def cancel_flow(self, flow: Flow) -> None:
@@ -284,6 +296,18 @@ class FlowNetwork:
             )
         )
         self._reallocate()
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(FlowFinished(
+                t=self.env.now,
+                flow_id=flow.flow_id,
+                tag=flow.tag,
+                size=flow.size,
+                links=tuple(link.link_id for link in flow.path),
+                src=flow.path[0].src,
+                dst=flow.path[-1].dst,
+                started_at=flow.started_at,
+            ))
 
     # -- rate computation -------------------------------------------------
     def _compute_rates(self, flows: list[Flow]) -> dict[Flow, float]:

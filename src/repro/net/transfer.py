@@ -14,6 +14,7 @@ together.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -23,6 +24,7 @@ from repro.net.links import Link
 from repro.net.network import FlowNetwork
 from repro.sim.core import Environment, Event, Process
 from repro.sim.resources import Container
+from repro.telemetry.events import TransferFinished, TransferStarted
 
 DEFAULT_CHUNK_SIZE = 2 * MB
 DEFAULT_BATCH_CHUNKS = 5
@@ -107,6 +109,8 @@ class TransferEngine:
         Chunking defaults; individual transfers may override.
     """
 
+    _ids = itertools.count()
+
     def __init__(
         self,
         env: Environment,
@@ -177,6 +181,19 @@ class TransferEngine:
         tag: str,
     ):
         started = self.env.now
+        bus = self.env.telemetry
+        transfer_id = -1
+        if bus is not None:
+            transfer_id = next(TransferEngine._ids)
+            bus.publish(TransferStarted(
+                t=started,
+                transfer_id=transfer_id,
+                tag=tag,
+                size=size,
+                src=paths[0].src,
+                dst=paths[0].dst,
+                num_paths=len(paths),
+            ))
         shares = self.split_sizes(paths, size)
         workers = []
         for path, share in zip(paths, shares):
@@ -197,6 +214,16 @@ class TransferEngine:
                 )
             )
         yield self.env.all_of(workers)
+        if bus is not None:
+            bus.publish(TransferFinished(
+                t=self.env.now,
+                transfer_id=transfer_id,
+                tag=tag,
+                size=size,
+                src=paths[0].src,
+                dst=paths[0].dst,
+                started_at=started,
+            ))
         return TransferResult(
             size=size,
             started_at=started,

@@ -33,11 +33,18 @@ from repro.functions.spec import (
     FunctionSpec,
     OutputModel,
 )
-from repro.scheduler.placement import PlacementPolicy, PlacementResult, make_placement
+from repro.scheduler.placement import (
+    PlacementPolicy,
+    PlacementResult,
+    make_placement,
+    publish_placement,
+)
 from repro.scheduler.prewarm import PrewarmManager
 from repro.sim.core import Environment, Process
 from repro.sim.resources import Resource
 from repro.storage.objects import DataRef
+from repro.telemetry.bus import EventBus
+from repro.telemetry.events import RequestArrived, RequestFinished, StageSpan
 from repro.topology.cluster import ClusterTopology
 from repro.topology.devices import Gpu
 from repro.topology.node import PCIE3_BW
@@ -232,9 +239,52 @@ class ServerlessPlatform:
             plane.queue_oracle = self.queue
         self._instance_load: dict[str, int] = {}
         self.results: list[RequestResult] = []
-        # Attach a repro.tracing.SpanTracer to record per-request
-        # Gantt spans; None (default) costs nothing.
-        self.tracer = None
+        self._tracer = None
+
+    # -- tracing -------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The attached :class:`~repro.tracing.SpanTracer`, or ``None``.
+
+        Assigning a tracer subscribes it to the environment's telemetry
+        bus (created on demand): the platform publishes
+        :class:`StageSpan` events and the tracer consumes them, so any
+        other bus subscriber sees the same spans.  ``None`` (default)
+        costs nothing when no bus is attached.
+        """
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        if self._tracer is not None:
+            self._tracer.detach()
+        self._tracer = tracer
+        if tracer is not None:
+            bus = self.env.telemetry
+            if bus is None:
+                bus = EventBus()
+                self.env.telemetry = bus
+            tracer.attach(bus)
+
+    def _publish_span(
+        self,
+        request_id: str,
+        stage: str,
+        kind: str,
+        start: float,
+        device_id: str = "",
+    ) -> None:
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(StageSpan(
+                t=self.env.now,
+                request_id=request_id,
+                stage=stage,
+                kind=kind,
+                start=start,
+                end=self.env.now,
+                device_id=device_id,
+            ))
 
     # -- deployment -----------------------------------------------------------
     def deploy(
@@ -274,6 +324,9 @@ class ServerlessPlatform:
                 self.cluster,
                 load=self._instance_load,
                 allowed_gpus=allowed_gpus,
+            )
+            publish_placement(
+                self.env, self.placement_policy, workflow, placement
             )
             for stage in workflow.topological_order():
                 replica_sets[stage.name].append(
@@ -424,6 +477,11 @@ class ServerlessPlatform:
         dispatch = deployment.next_dispatch()
         self.queue.enqueue(request_id)
         workflow = deployment.workflow
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(RequestArrived(
+                t=arrived, request_id=request_id, workflow=workflow.name
+            ))
         result = RequestResult(
             request_id=request_id,
             workflow=workflow.name,
@@ -472,12 +530,21 @@ class ServerlessPlatform:
             if payload is None:
                 continue
             started = self.env.now
-            get_result = yield self.plane.get(egress_ctx, payload)
+            yield self.plane.get(egress_ctx, payload)
             record = result.stage_records[exit_stage.name]
             record.put_time += self.env.now - started
         result.finished_at = self.env.now
         self.queue.finish(request_id)
         self.results.append(result)
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(RequestFinished(
+                t=self.env.now,
+                request_id=request_id,
+                workflow=workflow.name,
+                latency=result.latency,
+                slo_met=result.slo_met,
+            ))
         return result
 
     def _run_stage(
@@ -531,9 +598,10 @@ class ServerlessPlatform:
         slot = resource.request()
         yield slot
         record.queued_time = self.env.now - ready_at
-        if self.tracer is not None and record.queued_time > 0:
-            self.tracer.record(
-                request_id, stage.name, "queue", ready_at, self.env.now
+        if record.queued_time > 0:
+            self._publish_span(
+                request_id, stage.name, "queue", ready_at,
+                instance.device_id,
             )
 
         # The transfer deadline reflects the slack the invocation has
@@ -553,10 +621,9 @@ class ServerlessPlatform:
             yield self.env.all_of(gets)
             record.get_time = self.env.now - t_get
             record.input_bytes = sum(ref.size for ref in inputs)
-            if self.tracer is not None:
-                self.tracer.record(
-                    request_id, stage.name, "get", t_get, self.env.now
-                )
+            self._publish_span(
+                request_id, stage.name, "get", t_get, instance.device_id
+            )
 
             # Cold start penalty (container + model load) if not warm.
             if self.prewarm_enabled:
@@ -570,21 +637,19 @@ class ServerlessPlatform:
                 record.cold_start = penalty
                 t_cold = self.env.now
                 yield self.env.timeout(penalty)
-                if self.tracer is not None:
-                    self.tracer.record(
-                        request_id, stage.name, "cold-start",
-                        t_cold, self.env.now,
-                    )
+                self._publish_span(
+                    request_id, stage.name, "cold-start", t_cold,
+                    instance.device_id,
+                )
 
             t_exec = self.env.now
             execution = yield instance.execute_held(
                 deployment.batch, record.input_bytes
             )
             record.compute_time = execution.duration
-            if self.tracer is not None:
-                self.tracer.record(
-                    request_id, stage.name, "exec", t_exec, self.env.now
-                )
+            self._publish_span(
+                request_id, stage.name, "exec", t_exec, instance.device_id
+            )
 
             # Publish the output for downstream consumers.
             out_edges = workflow.out_edges(stage.name)
@@ -598,10 +663,9 @@ class ServerlessPlatform:
                 ctx, output_size, expected_consumers=consumers
             )
             record.put_time = self.env.now - t_put
-            if self.tracer is not None:
-                self.tracer.record(
-                    request_id, stage.name, "put", t_put, self.env.now
-                )
+            self._publish_span(
+                request_id, stage.name, "put", t_put, instance.device_id
+            )
         finally:
             resource.release(slot)
         self.queue.bind_object(ref.object_id, request_id)

@@ -69,6 +69,41 @@ def bar_chart(
     return "\n".join(lines)
 
 
+def metrics_summary_table(registry) -> ExperimentTable:
+    """One row per metric from a telemetry MetricsRegistry summary.
+
+    Counters report ``value``; gauges report last/peak/mean; histograms
+    report count/mean/p50/p99/max.  Unused cells stay blank so the four
+    metric shapes share one table.
+    """
+    table = ExperimentTable(
+        name="telemetry metrics",
+        columns=[
+            "namespace", "metric", "type", "value",
+            "count", "mean", "p50", "p99", "max",
+        ],
+    )
+    for namespace, metrics in sorted(registry.summary().items()):
+        for short, stats in sorted(metrics.items()):
+            kind = stats["type"]
+            row = {"namespace": namespace, "metric": short, "type": kind}
+            if kind == "counter":
+                row["value"] = stats["value"]
+            elif kind == "gauge":
+                row["value"] = stats["last"]
+                row["count"] = stats["samples"]
+                row["mean"] = stats["mean"]
+                row["max"] = stats["peak"]
+            else:
+                row["count"] = stats["count"]
+                row["mean"] = stats["mean"]
+                row["p50"] = stats["p50"]
+                row["p99"] = stats["p99"]
+                row["max"] = stats["max"]
+            table.add(**row)
+    return table
+
+
 FORMATS = ("table", "csv", "json")
 
 

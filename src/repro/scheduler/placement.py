@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.common.errors import SchedulingError
+from repro.sim.core import Environment
+from repro.telemetry.events import PlacementDecision
 from repro.topology.cluster import ClusterTopology
 from repro.topology.devices import Gpu
 from repro.workflow.dag import Workflow
@@ -152,6 +154,28 @@ class MapaPlacement(PlacementPolicy):
             result.assignment[stage.name] = best.device_id
             load[best.device_id] = load.get(best.device_id, 0) + 1
         return result
+
+
+def publish_placement(
+    env: Environment,
+    policy: PlacementPolicy,
+    workflow: Workflow,
+    result: PlacementResult,
+) -> None:
+    """Publish one placement decision on *env*'s telemetry bus.
+
+    Policies themselves are time-free (they see only topology and
+    load), so the caller that owns the environment — the platform's
+    deploy path — reports the decision.
+    """
+    bus = env.telemetry
+    if bus is not None:
+        bus.publish(PlacementDecision(
+            t=env.now,
+            policy=policy.name,
+            workflow=workflow.name,
+            assignment=tuple(sorted(result.assignment.items())),
+        ))
 
 
 POLICIES = {

@@ -263,12 +263,27 @@ class Process(Event):
 
 
 class Environment:
-    """The simulation environment: clock, event queue, process factory."""
+    """The simulation environment: clock, event queue, process factory.
+
+    ``telemetry`` is the environment's event bus attachment point
+    (see :mod:`repro.telemetry`): ``None`` by default, so publishers
+    across the stack pay a single attribute check when telemetry is
+    off.  Setting the class attribute ``telemetry_hook`` (done by
+    ``repro.telemetry.capture()``) instruments every subsequently
+    created environment.
+    """
+
+    # Called with each new environment when set (telemetry capture).
+    telemetry_hook: Optional[Callable[["Environment"], Any]] = None
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = initial_time
         self._queue: list[tuple[float, int, object]] = []
         self._seq = 0
+        self.telemetry = None
+        hook = Environment.telemetry_hook
+        if hook is not None:
+            hook(self)
 
     @property
     def now(self) -> float:

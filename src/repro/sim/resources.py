@@ -17,7 +17,7 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Optional
+from typing import Any
 
 from repro.common.errors import SimulationError
 from repro.sim.core import Environment, Event

@@ -14,7 +14,6 @@ for an object's workflow may read it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.common.errors import AccessDeniedError, StorageError
 from repro.storage.objects import DataObject

@@ -15,6 +15,7 @@ from repro.memory.device import DeviceMemory
 from repro.memory.pool import MemoryPool, PoolAllocation
 from repro.sim.core import Environment, Process
 from repro.storage.objects import DataObject, Placement, Replica
+from repro.telemetry.events import StorePut
 
 HOST_STORE_TAG = "host-store"
 
@@ -52,6 +53,15 @@ class GpuStore:
             )
         )
         self._resident[obj.object_id] = obj
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(StorePut(
+                t=self.env.now,
+                object_id=obj.object_id,
+                device_id=self.device_id,
+                size=obj.size,
+                placement="gpu",
+            ))
         return obj
 
     def remove(self, obj: DataObject) -> None:
@@ -116,6 +126,15 @@ class HostStore:
             Replica(device_id=self.device_id, placement=Placement.HOST)
         )
         self._resident[obj.object_id] = obj
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(StorePut(
+                t=self.env.now,
+                object_id=obj.object_id,
+                device_id=self.device_id,
+                size=obj.size,
+                placement="host",
+            ))
 
     def remove(self, obj: DataObject) -> None:
         if obj.object_id not in self._resident:

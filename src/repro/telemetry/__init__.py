@@ -1,0 +1,66 @@
+"""Unified telemetry: event bus, metrics registry, Perfetto export.
+
+Every layer of the data plane publishes typed events to an
+:class:`EventBus` attached to the simulation environment
+(``env.telemetry``, ``None`` by default — a disabled run pays one
+attribute check per potential event).  Consumers aggregate the stream:
+:class:`StandardMetrics` into a namespaced :class:`MetricsRegistry`,
+:class:`TraceRecorder` into a raw event list, and
+:func:`export_chrome_trace` into a ``trace.json`` any run can open in
+``ui.perfetto.dev``.  ``python -m repro trace <experiment>`` wires it
+all together from the command line.
+"""
+
+from repro.telemetry.bus import EventBus
+from repro.telemetry.chrome import export_chrome_trace, to_trace_events
+from repro.telemetry.events import (
+    FlowFinished,
+    FlowStarted,
+    PlacementDecision,
+    PoolAlloc,
+    PoolFree,
+    PoolTrim,
+    RequestArrived,
+    RequestFinished,
+    RouteSelected,
+    StageSpan,
+    StoreEvict,
+    StoreGet,
+    StorePut,
+    TelemetryEvent,
+    TransferFinished,
+    TransferStarted,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.recorder import StandardMetrics, TraceRecorder
+from repro.telemetry.session import TelemetrySession, capture
+
+__all__ = [
+    "Counter",
+    "EventBus",
+    "FlowFinished",
+    "FlowStarted",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PlacementDecision",
+    "PoolAlloc",
+    "PoolFree",
+    "PoolTrim",
+    "RequestArrived",
+    "RequestFinished",
+    "RouteSelected",
+    "StageSpan",
+    "StandardMetrics",
+    "StoreEvict",
+    "StoreGet",
+    "StorePut",
+    "TelemetryEvent",
+    "TelemetrySession",
+    "TraceRecorder",
+    "TransferFinished",
+    "TransferStarted",
+    "capture",
+    "export_chrome_trace",
+    "to_trace_events",
+]

@@ -1,0 +1,189 @@
+"""Typed telemetry events published on the :class:`~repro.telemetry.EventBus`.
+
+Every modelled resource emits one of these when telemetry is enabled:
+the flow network (per-flow link occupancy), the transfer engine
+(chunk-batched transfers), the GPU/host stores (residency changes), the
+data planes (Put/Get/evictions and route choices), the memory pools
+(alloc/free with occupancy), the placement policies, and the platform
+(request lifecycle and per-stage spans).
+
+Events are frozen dataclasses so subscribers can keep them forever;
+``t`` is always the simulation time the event was published at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base class: anything published on the bus."""
+
+    t: float
+
+
+# -- network -----------------------------------------------------------------
+@dataclass(frozen=True)
+class FlowStarted(TelemetryEvent):
+    """A flow began occupying its link path."""
+
+    flow_id: int
+    tag: str
+    size: float
+    links: tuple[str, ...]
+    src: str
+    dst: str
+
+
+@dataclass(frozen=True)
+class FlowFinished(TelemetryEvent):
+    """A flow drained its last byte (``t`` is the finish time)."""
+
+    flow_id: int
+    tag: str
+    size: float
+    links: tuple[str, ...]
+    src: str
+    dst: str
+    started_at: float
+
+
+@dataclass(frozen=True)
+class TransferStarted(TelemetryEvent):
+    """A (possibly multi-path, chunk-batched) transfer began."""
+
+    transfer_id: int
+    tag: str
+    size: float
+    src: str
+    dst: str
+    num_paths: int
+
+
+@dataclass(frozen=True)
+class TransferFinished(TelemetryEvent):
+    """The transfer's last path completed."""
+
+    transfer_id: int
+    tag: str
+    size: float
+    src: str
+    dst: str
+    started_at: float
+
+
+@dataclass(frozen=True)
+class RouteSelected(TelemetryEvent):
+    """A data plane picked the link paths for one transfer."""
+
+    category: str
+    src: str
+    dst: str
+    routes: tuple[str, ...]
+
+
+# -- storage ------------------------------------------------------------------
+@dataclass(frozen=True)
+class StorePut(TelemetryEvent):
+    """An object became resident on a GPU or host store."""
+
+    object_id: str
+    device_id: str
+    size: float
+    placement: str  # "gpu" | "host"
+
+
+@dataclass(frozen=True)
+class StoreGet(TelemetryEvent):
+    """A plane-level Get completed (``t`` is the completion time)."""
+
+    object_id: str
+    device_id: str
+    size: float
+    category: str
+    latency: float
+
+
+@dataclass(frozen=True)
+class StoreEvict(TelemetryEvent):
+    """An object's bytes were migrated off a GPU under pressure."""
+
+    object_id: str
+    src_device: str
+    dst_device: str
+    size: float
+
+
+# -- memory --------------------------------------------------------------------
+@dataclass(frozen=True)
+class PoolAlloc(TelemetryEvent):
+    """A pool allocation completed; carries post-alloc occupancy."""
+
+    device_id: str
+    size: float
+    reserved: float
+    in_use: float
+    grew: bool
+
+
+@dataclass(frozen=True)
+class PoolFree(TelemetryEvent):
+    """An allocation returned to its pool."""
+
+    device_id: str
+    size: float
+    reserved: float
+    in_use: float
+
+
+@dataclass(frozen=True)
+class PoolTrim(TelemetryEvent):
+    """An elastic trim released reserved-but-idle bytes."""
+
+    device_id: str
+    released: float
+    reserved: float
+    in_use: float
+
+
+# -- scheduler ------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlacementDecision(TelemetryEvent):
+    """A placement policy mapped a workflow's GPU stages to devices."""
+
+    policy: str
+    workflow: str
+    assignment: tuple[tuple[str, str], ...]  # (stage, device_id) pairs
+
+
+# -- requests -------------------------------------------------------------------
+@dataclass(frozen=True)
+class RequestArrived(TelemetryEvent):
+    """A request entered the platform's pending queue."""
+
+    request_id: str
+    workflow: str
+
+
+@dataclass(frozen=True)
+class RequestFinished(TelemetryEvent):
+    """A request drained its egress output."""
+
+    request_id: str
+    workflow: str
+    latency: float
+    slo_met: Optional[bool]
+
+
+@dataclass(frozen=True)
+class StageSpan(TelemetryEvent):
+    """One timed region of a request stage (queue/get/cold/exec/put)."""
+
+    request_id: str
+    stage: str
+    kind: str
+    start: float
+    end: float
+    device_id: str

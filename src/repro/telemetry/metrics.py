@@ -1,0 +1,145 @@
+"""Namespaced metrics registry: counters, gauges, histograms.
+
+Built on the statistics primitives the experiments already use
+(:class:`~repro.metrics.LatencyRecorder` for histograms,
+:class:`~repro.metrics.Timeline` for gauges).  Metric names are
+dot-namespaced — ``net.bytes_moved``, ``memory.pool_in_use.n0.g0`` —
+and the first component is the subsystem namespace the summary groups
+by.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.common.errors import ConfigError
+from repro.metrics.stats import LatencyRecorder, Timeline
+
+
+class Counter:
+    """A monotonically increasing count (or byte total)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter {self.name} increment must be >= 0")
+        self.value += amount
+
+
+class Gauge:
+    """A sampled time-varying value, backed by a :class:`Timeline`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.timeline = Timeline()
+
+    def set(self, t: float, value: float) -> None:
+        # A registry can outlive several simulation runs (capture()
+        # spans many fresh environments), so the clock may restart;
+        # clamp to keep the backing timeline monotonic.
+        if self.timeline.times and t < self.timeline.times[-1]:
+            t = self.timeline.times[-1]
+        self.timeline.sample(t, value)
+
+    @property
+    def last(self) -> float:
+        return self.timeline.values[-1] if len(self.timeline) else float("nan")
+
+    @property
+    def peak(self) -> float:
+        return self.timeline.peak
+
+    @property
+    def mean(self) -> float:
+        return self.timeline.mean
+
+
+class Histogram:
+    """A distribution of observations, backed by a LatencyRecorder."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.recorder = LatencyRecorder(name)
+
+    def observe(self, value: float) -> None:
+        self.recorder.add(value)
+
+    def __len__(self) -> int:
+        return len(self.recorder)
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Creates and holds metrics under dot-separated namespaces."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get(self, name: str, cls):
+        if "." not in name:
+            raise ConfigError(
+                f"metric name {name!r} needs a namespace (e.g. 'net.{name}')"
+            )
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ConfigError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # -- introspection ------------------------------------------------------
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def namespaces(self) -> list[str]:
+        return sorted({name.split(".", 1)[0] for name in self._metrics})
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def summary(self) -> dict[str, dict[str, dict]]:
+        """Nested ``{namespace: {metric: {stat: value}}}`` snapshot."""
+        out: dict[str, dict[str, dict]] = {}
+        for name in self.names():
+            namespace, short = name.split(".", 1)
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                stats = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                stats = {
+                    "type": "gauge",
+                    "last": metric.last,
+                    "peak": metric.peak,
+                    "mean": metric.mean,
+                    "samples": len(metric.timeline),
+                }
+            else:
+                rec = metric.recorder
+                stats = {
+                    "type": "histogram",
+                    "count": len(rec),
+                    "mean": rec.mean,
+                    "p50": rec.p50,
+                    "p99": rec.p99,
+                    "max": rec.maximum,
+                }
+            out.setdefault(namespace, {})[short] = stats
+        return out

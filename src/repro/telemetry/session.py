@@ -1,0 +1,74 @@
+"""Telemetry sessions: turn telemetry on for one env or a whole block.
+
+Two entry points:
+
+- :func:`TelemetrySession.attach` wires one existing
+  :class:`~repro.sim.Environment` with a bus, raw-event capture, and
+  standard metrics.
+- :func:`capture` is a context manager that installs an
+  ``Environment`` creation hook so **every** environment built inside
+  the block (experiments construct a fresh one per measurement) is
+  attached to the same session::
+
+      with capture() as session:
+          tables = fig13.run_pattern("intra")
+      session.export_chrome_trace("trace.json")
+      print(session.metrics.summary())
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.sim.core import Environment
+from repro.telemetry.bus import EventBus
+from repro.telemetry.chrome import export_chrome_trace
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.recorder import StandardMetrics
+
+
+class TelemetrySession:
+    """Shared sink for one or more instrumented simulation runs."""
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.events: list[tuple[int, object]] = []
+        self.run_count = 0
+
+    def attach(self, env: Environment) -> EventBus:
+        """Instrument *env*: bus + event capture + standard metrics."""
+        run = self.run_count
+        self.run_count += 1
+        bus = EventBus()
+        env.telemetry = bus
+
+        def _capture(event, _run=run):
+            self.events.append((_run, event))
+
+        bus.subscribe(None, _capture)
+        StandardMetrics(self.metrics).attach(bus)
+        return bus
+
+    def export_chrome_trace(self, path: Optional[str] = None) -> dict:
+        """Write/return the session as a Chrome ``trace_event`` doc."""
+        return export_chrome_trace(
+            self.events, path=path, multi_run=self.run_count > 1
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@contextlib.contextmanager
+def capture(
+    session: Optional[TelemetrySession] = None,
+) -> Iterator[TelemetrySession]:
+    """Attach every Environment created in this block to one session."""
+    session = session if session is not None else TelemetrySession()
+    previous = Environment.telemetry_hook
+    Environment.telemetry_hook = session.attach
+    try:
+        yield session
+    finally:
+        Environment.telemetry_hook = previous

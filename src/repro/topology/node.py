@@ -19,7 +19,7 @@ is what makes naive route-GPU selection collapse (§3.2.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.common.errors import TopologyError

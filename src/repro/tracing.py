@@ -2,17 +2,21 @@
 
 A :class:`SpanTracer` records (start, end) spans per request — stage
 queueing, input fetches, execution, output publication — and renders a
-request as an ASCII Gantt chart.  The platform emits spans when a
-tracer is attached (``platform.tracer = SpanTracer()``); tracing is off
-by default and costs nothing.
+request as an ASCII Gantt chart.  The tracer is a consumer of the
+telemetry bus (:mod:`repro.telemetry`): the platform publishes
+:class:`~repro.telemetry.events.StageSpan` events, and assigning
+``platform.tracer = SpanTracer()`` subscribes the tracer to them.
+Tracing is off by default and costs nothing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.errors import ConfigError
+from repro.telemetry.bus import EventBus
+from repro.telemetry.events import StageSpan
 
 GANTT_WIDTH = 60
 
@@ -58,6 +62,28 @@ class SpanTracer:
 
     def __init__(self) -> None:
         self._spans: dict[str, list[Span]] = {}
+        self._bus: Optional[EventBus] = None
+
+    # -- bus integration ------------------------------------------------------
+    def attach(self, bus: EventBus) -> "SpanTracer":
+        """Subscribe to :class:`StageSpan` events published on *bus*."""
+        if self._bus is not None:
+            self.detach()
+        self._bus = bus
+        bus.subscribe(StageSpan, self._on_stage_span)
+        return self
+
+    def detach(self) -> None:
+        """Stop consuming from the currently attached bus (if any)."""
+        if self._bus is not None:
+            self._bus.unsubscribe(StageSpan, self._on_stage_span)
+            self._bus = None
+
+    def _on_stage_span(self, event: StageSpan) -> None:
+        self.record(
+            event.request_id, event.stage, event.kind,
+            event.start, event.end,
+        )
 
     def record(self, request_id: str, stage: str, kind: str,
                start: float, end: float) -> None:
@@ -103,7 +129,9 @@ class SpanTracer:
             f"(. queue, < get, c cold, # exec, > put)"
         ]
         for span in spans:
-            begin = int((span.start - t0) * scale)
+            # Clamp into the chart: a span starting at the last column
+            # must still render >= 1 glyph inside the bounds.
+            begin = min(int((span.start - t0) * scale), width - 1)
             length = max(1, int(round(span.duration * scale)))
             length = min(length, width - begin)
             bar = " " * begin + _GLYPHS[span.kind] * length

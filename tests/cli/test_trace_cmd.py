@@ -1,0 +1,45 @@
+"""Tests for the ``repro trace`` subcommand."""
+
+import json
+
+from repro.cli import build_parser, main
+from repro.sim import Environment
+
+
+class TestTraceCommand:
+    def test_parser_accepts_trace(self):
+        args = build_parser().parse_args(
+            ["trace", "fig13", "--quick", "--out", "t.json"]
+        )
+        assert args.command == "trace"
+        assert args.experiment == "fig13"
+        assert args.out == "t.json"
+
+    def test_unknown_experiment_fails(self, capsys):
+        code = main(["trace", "nope"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trace_fig13_writes_valid_trace_and_summary(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "trace.json"
+        code = main([
+            "trace", "fig13", "--quick", "--quiet", "--out", str(path),
+        ])
+        assert code == 0
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["traceEvents"]
+        for event in doc["traceEvents"]:
+            assert "ph" in event
+            assert "ts" in event
+            assert "pid" in event
+            assert "tid" in event
+        out = capsys.readouterr().out
+        # Metrics summary covers all four subsystem namespaces.
+        for namespace in ("net", "storage", "memory", "scheduler"):
+            assert namespace in out
+        assert "telemetry metrics" in out
+        # The capture hook must not leak past the command.
+        assert Environment.telemetry_hook is None

@@ -1,10 +1,7 @@
 """Helper builders shared by data-plane and platform tests."""
 
-import pytest
-
 from repro.functions import FnContext, FunctionInstance, get_spec
-from repro.sim import Environment, Resource
-from repro.topology import make_cluster
+from repro.sim import Resource
 
 
 def make_gpu_ctx(env, node, gpu_index, model="yolo-det", workflow_id="wf-0",

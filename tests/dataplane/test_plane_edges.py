@@ -127,7 +127,7 @@ class TestGRouterVariants:
 class TestNvshmemSaturation:
     def test_symmetric_overflow_counter(self, env):
         # Tiny GPUs: symmetric shadows cannot all fit.
-        from repro.topology import NodeSpec, make_cluster as mk
+        from repro.topology import NodeSpec
         from repro.topology.cluster import ClusterTopology
         from repro.topology.node import NodeTopology
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.dataplane import PLANES, make_plane
 from repro.dataplane.nvshmem import SYMMETRIC_TAG
-from repro.memory.pool import POOL_TAG
 from repro.platform import ServerlessPlatform
 from repro.sim import Environment
 from repro.topology import make_cluster

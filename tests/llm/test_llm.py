@@ -3,7 +3,6 @@
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.common.units import MB
 from repro.llm import (
     MoaConfig,
     get_llm,

@@ -74,3 +74,67 @@ class TestMonitor:
         monitor.stop()
         monitor.stop()
         env.run()
+
+    def test_stop_without_horizon_lets_queue_drain(self, env):
+        # Regression: stop() used to only flip _running, leaving the
+        # pending timeout queued — env.run() without `until` then
+        # waited out (or never left) the sampling loop.
+        net = FlowNetwork(env)
+        link = make_link()
+        monitor = LinkUtilizationMonitor(env, net, [link], interval=0.1)
+        monitor.start()
+        net.start_flow([link], size=100.0)  # drains at t=1.0
+        env.run(until=1.0)
+        monitor.stop()
+        samples_at_stop = len(monitor.timelines[link.link_id])
+        env.run()  # must terminate: the sampling process is dead
+        # At most the one already-queued (now inert) tick remains.
+        assert env.now <= 1.0 + monitor.interval
+        assert len(monitor.timelines[link.link_id]) == samples_at_stop
+
+    def test_restart_after_stop(self, env):
+        net = FlowNetwork(env)
+        link = make_link()
+        monitor = LinkUtilizationMonitor(env, net, [link], interval=0.1)
+        monitor.start()
+        env.run(until=0.5)
+        monitor.stop()
+        monitor.start()
+        env.run(until=1.0)
+        monitor.stop()
+        env.run()
+        assert len(monitor.timelines[link.link_id]) >= 10
+
+
+class TestMonitorOnBus:
+    def test_flow_edges_trigger_extra_samples(self, env):
+        from repro.telemetry import EventBus
+
+        env.telemetry = EventBus()
+        net = FlowNetwork(env)
+        link = make_link(capacity=100.0)
+        monitor = LinkUtilizationMonitor(
+            env, net, [link], interval=10.0, horizon=5.0
+        )
+        monitor.start()
+        net.start_flow([link], size=100.0, rate_cap=50.0)  # busy 0..2s
+        env.run()
+        timeline = monitor.timelines[link.link_id]
+        # The interval alone would sample only at t=0; the flow's
+        # start/finish events add samples capturing the transition.
+        assert len(timeline) >= 3
+        assert monitor.peak(link) == pytest.approx(0.5)
+        assert timeline.values[-1] == 0.0
+
+    def test_stop_unsubscribes(self, env):
+        from repro.telemetry import EventBus
+
+        env.telemetry = EventBus()
+        net = FlowNetwork(env)
+        monitor = LinkUtilizationMonitor(
+            env, net, [make_link()], interval=0.1
+        )
+        monitor.start()
+        assert env.telemetry.subscriber_count == 2
+        monitor.stop()
+        assert env.telemetry.subscriber_count == 0

@@ -166,7 +166,7 @@ class TestPcieHarvesting:
         )
         relay = paths[0]
         uplink_id = "n0.sw0>n0.host"
-        assert [l.link_id for l in relay.links].count(uplink_id) == 1
+        assert [k.link_id for k in relay.links].count(uplink_id) == 1
         # The relay also re-enters through the peer switch: 6 hops total.
         assert relay.hops == 6
 

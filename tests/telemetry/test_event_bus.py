@@ -1,0 +1,79 @@
+"""Tests for the telemetry event bus."""
+
+import pytest
+
+from repro.telemetry import EventBus
+from repro.telemetry.events import FlowStarted, StorePut
+
+
+def flow_started(t=0.0):
+    return FlowStarted(
+        t=t, flow_id=1, tag="probe", size=1024.0,
+        links=("a>b",), src="a", dst="b",
+    )
+
+
+def store_put(t=0.0):
+    return StorePut(
+        t=t, object_id="obj-1", device_id="n0.g0",
+        size=1024.0, placement="gpu",
+    )
+
+
+class TestEventBus:
+    def test_typed_subscription_receives_only_its_type(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(FlowStarted, got.append)
+        bus.publish(flow_started())
+        bus.publish(store_put())
+        assert len(got) == 1
+        assert isinstance(got[0], FlowStarted)
+
+    def test_wildcard_receives_everything(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(None, got.append)
+        bus.publish(flow_started())
+        bus.publish(store_put())
+        assert len(got) == 2
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(FlowStarted, got.append)
+        bus.unsubscribe(FlowStarted, got.append)
+        bus.publish(flow_started())
+        assert got == []
+
+    def test_unsubscribe_unknown_is_noop(self):
+        bus = EventBus()
+        bus.unsubscribe(FlowStarted, lambda e: None)
+        bus.unsubscribe(None, lambda e: None)
+
+    def test_published_counter(self):
+        bus = EventBus()
+        bus.publish(flow_started())
+        bus.publish(store_put())
+        assert bus.published == 2
+
+    def test_subscriber_count(self):
+        bus = EventBus()
+        assert bus.subscriber_count == 0
+        bus.subscribe(FlowStarted, lambda e: None)
+        bus.subscribe(None, lambda e: None)
+        assert bus.subscriber_count == 2
+
+    def test_multiple_subscribers_in_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(FlowStarted, lambda e: order.append("first"))
+        bus.subscribe(FlowStarted, lambda e: order.append("second"))
+        bus.subscribe(None, lambda e: order.append("wildcard"))
+        bus.publish(flow_started())
+        assert order == ["first", "second", "wildcard"]
+
+    def test_events_are_frozen(self):
+        event = flow_started()
+        with pytest.raises(AttributeError):
+            event.size = 2048.0

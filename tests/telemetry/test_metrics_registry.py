@@ -1,0 +1,93 @@
+"""Tests for the namespaced metrics registry."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.telemetry import MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("net.flows")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("net.flows")
+        with pytest.raises(ConfigError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_stats(self):
+        gauge = MetricsRegistry().gauge("memory.in_use")
+        gauge.set(0.0, 10.0)
+        gauge.set(1.0, 30.0)
+        gauge.set(2.0, 20.0)
+        assert gauge.last == 20.0
+        assert gauge.peak == 30.0
+        assert gauge.mean == pytest.approx(20.0)
+
+    def test_empty_gauge_is_nan(self):
+        gauge = MetricsRegistry().gauge("memory.in_use")
+        assert math.isnan(gauge.last)
+
+    def test_clock_restart_is_clamped(self):
+        # capture() reuses one registry across runs whose sim clocks
+        # restart at 0 — the gauge must absorb that, not raise.
+        gauge = MetricsRegistry().gauge("memory.in_use")
+        gauge.set(5.0, 1.0)
+        gauge.set(0.0, 2.0)
+        assert gauge.timeline.times == [5.0, 5.0]
+        assert gauge.last == 2.0
+
+
+class TestHistogram:
+    def test_observations(self):
+        histogram = MetricsRegistry().histogram("net.transfer_ms")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert len(histogram) == 3
+        assert histogram.recorder.mean == pytest.approx(2.0)
+
+
+class TestRegistry:
+    def test_same_name_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("net.flows") is registry.counter("net.flows")
+
+    def test_type_conflict(self):
+        registry = MetricsRegistry()
+        registry.counter("net.flows")
+        with pytest.raises(ConfigError):
+            registry.gauge("net.flows")
+
+    def test_requires_namespace(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().counter("flows")
+
+    def test_namespaces(self):
+        registry = MetricsRegistry()
+        registry.counter("net.flows")
+        registry.counter("storage.puts")
+        registry.gauge("memory.pool_in_use.n0.g0")
+        assert registry.namespaces() == ["memory", "net", "storage"]
+
+    def test_get_unknown_is_none(self):
+        assert MetricsRegistry().get("net.flows") is None
+
+    def test_summary_groups_by_namespace(self):
+        registry = MetricsRegistry()
+        registry.counter("net.flows").inc(2)
+        registry.gauge("memory.pool_in_use.n0.g0").set(0.0, 5.0)
+        registry.histogram("net.transfer_ms").observe(1.5)
+        summary = registry.summary()
+        assert summary["net"]["flows"] == {"type": "counter", "value": 2}
+        assert summary["net"]["transfer_ms"]["count"] == 1
+        gauge_stats = summary["memory"]["pool_in_use.n0.g0"]
+        assert gauge_stats["type"] == "gauge"
+        assert gauge_stats["last"] == 5.0

@@ -53,10 +53,10 @@ class TestDgxV100:
                     single += 1
                 else:
                     double += 1
-        total = 28
         assert absent == 12  # 42.9%
         assert single == 8  # 28.6%
         assert double == 8
+        assert absent + single + double == 28
 
     def test_nvlink_symmetric(self, v100):
         for a in range(8):

@@ -114,3 +114,105 @@ class TestPlatformIntegration:
         proc = platform.submit(deployment)
         env.run()
         assert proc.ok
+
+
+class TestGanttEdgeCases:
+    def test_zero_duration_span_renders_one_glyph(self):
+        tracer = SpanTracer()
+        tracer.record("r", "s", "exec", 0.0, 1.0)
+        tracer.record("r", "s", "put", 1.0, 1.0)  # instantaneous
+        chart = tracer.gantt("r", width=20)
+        put_row = next(r for r in chart.splitlines() if "[put]" in r)
+        assert put_row.count(">") == 1
+
+    def test_span_at_right_edge_stays_in_bounds(self):
+        # Regression: a span starting at the very last column used to
+        # round to zero glyphs (or spill past the chart edge).
+        width = 20
+        tracer = SpanTracer()
+        tracer.record("r", "s", "exec", 0.0, 1.0)
+        tracer.record("r", "s", "put", 1.0, 1.0)
+        chart = tracer.gantt("r", width=width)
+        for line in chart.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == width
+            assert bar.strip(), "every span renders at least one glyph"
+
+    def test_all_zero_duration_spans(self):
+        tracer = SpanTracer()
+        tracer.record("r", "a", "get", 2.0, 2.0)
+        tracer.record("r", "b", "exec", 2.0, 2.0)
+        chart = tracer.gantt("r", width=10)
+        assert "<" in chart and "#" in chart
+
+    def test_overlapping_stages_render_separate_rows(self):
+        tracer = SpanTracer()
+        tracer.record("r", "branch-a", "exec", 0.0, 2.0)
+        tracer.record("r", "branch-b", "exec", 0.5, 1.5)
+        chart = tracer.gantt("r", width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 3
+        assert "branch-a[exec]" in lines[1]
+        assert "branch-b[exec]" in lines[2]
+        # The inner span starts later and ends earlier than the outer.
+        outer = lines[1].split("|")[1]
+        inner = lines[2].split("|")[1]
+        assert inner.index("#") > outer.index("#")
+        assert inner.rstrip().__len__() < outer.rstrip().__len__()
+
+    def test_unknown_request_totals_are_zero(self):
+        totals = SpanTracer().total_by_kind("ghost")
+        assert set(totals) == set(KINDS)
+        assert all(v == 0.0 for v in totals.values())
+
+    def test_unknown_request_spans_empty(self):
+        assert SpanTracer().spans("ghost") == []
+
+
+class TestBusAttachment:
+    def test_attach_records_stage_span_events(self):
+        from repro.telemetry import EventBus
+        from repro.telemetry.events import StageSpan
+
+        bus = EventBus()
+        tracer = SpanTracer().attach(bus)
+        bus.publish(StageSpan(
+            t=1.0, request_id="r", stage="s", kind="exec",
+            start=0.0, end=1.0, device_id="n0.g0",
+        ))
+        assert tracer.total_by_kind("r")["exec"] == pytest.approx(1.0)
+
+    def test_detach_stops_recording(self):
+        from repro.telemetry import EventBus
+        from repro.telemetry.events import StageSpan
+
+        bus = EventBus()
+        tracer = SpanTracer().attach(bus)
+        tracer.detach()
+        bus.publish(StageSpan(
+            t=1.0, request_id="r", stage="s", kind="exec",
+            start=0.0, end=1.0, device_id="n0.g0",
+        ))
+        assert tracer.spans("r") == []
+
+    def test_platform_setter_creates_bus_and_attaches(self):
+        env = Environment()
+        cluster = make_cluster("dgx-v100")
+        plane = make_plane("grouter", env, cluster)
+        platform = ServerlessPlatform(env, cluster, plane)
+        assert env.telemetry is None
+        platform.tracer = SpanTracer()
+        assert env.telemetry is not None
+        assert env.telemetry.subscriber_count == 1
+
+    def test_platform_setter_replaces_tracer(self):
+        env = Environment()
+        cluster = make_cluster("dgx-v100")
+        plane = make_plane("grouter", env, cluster)
+        platform = ServerlessPlatform(env, cluster, plane)
+        first = SpanTracer()
+        second = SpanTracer()
+        platform.tracer = first
+        platform.tracer = second
+        assert platform.tracer is second
+        assert env.telemetry.subscriber_count == 1
