@@ -1,0 +1,25 @@
+"""Performance microbenchmarks for the repro data plane."""
+
+from repro.bench.netflow import (
+    BENCHMARKS,
+    DEFAULT_ALLOCATORS,
+    SCHEMA_VERSION,
+    bench_fanin_hotspot,
+    bench_flow_churn,
+    bench_multipath_chunk_storm,
+    format_summary,
+    run_benchmarks,
+    write_results,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "DEFAULT_ALLOCATORS",
+    "SCHEMA_VERSION",
+    "bench_fanin_hotspot",
+    "bench_flow_churn",
+    "bench_multipath_chunk_storm",
+    "format_summary",
+    "run_benchmarks",
+    "write_results",
+]

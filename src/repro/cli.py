@@ -10,6 +10,8 @@ Commands
     Describe a topology preset (GPUs, links, NICs, asymmetry).
 ``workloads``
     Describe the evaluation workflow suite.
+``bench``
+    Run the network-engine microbenchmarks; write ``BENCH_net.json``.
 """
 
 from __future__ import annotations
@@ -245,6 +247,37 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import format_summary, run_benchmarks, write_results
+    from repro.net.network import ALLOCATORS
+
+    allocators = args.allocators.split(",") if args.allocators else None
+    if allocators:
+        unknown = [a for a in allocators if a not in ALLOCATORS]
+        if unknown:
+            print(f"unknown allocator(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            print(f"choose from: {', '.join(ALLOCATORS)}", file=sys.stderr)
+            return 2
+    try:
+        document = run_benchmarks(
+            quick=args.quick,
+            names=args.benchmarks or None,
+            allocators=allocators or ("incremental", "legacy"),
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_summary(document))
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        write_results(document, args.out)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def _cmd_validate(_args) -> int:
     from repro.validate import run_scorecard
 
@@ -287,6 +320,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("workloads", help="describe the workflow suite")
 
+    bench = sub.add_parser(
+        "bench",
+        help="run network-engine microbenchmarks (see benchmarks/perf/)",
+    )
+    bench.add_argument(
+        "benchmarks", nargs="*",
+        help="benchmark names to run (default: all)",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="scaled-down parameters for CI smoke runs")
+    bench.add_argument("--out", default="BENCH_net.json",
+                       help="JSON results file (default: BENCH_net.json)")
+    bench.add_argument(
+        "--allocators",
+        help="comma-separated allocator modes "
+             "(default: incremental,legacy)",
+    )
+
     sub.add_parser(
         "validate",
         help="run the claim-by-claim reproduction scorecard (slow)",
@@ -302,6 +353,7 @@ def main(argv=None) -> int:
         "topo": _cmd_topo,
         "trace": _cmd_trace,
         "workloads": _cmd_workloads,
+        "bench": _cmd_bench,
         "validate": _cmd_validate,
     }
     return handlers[args.command](args)

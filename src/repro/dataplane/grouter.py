@@ -258,9 +258,14 @@ class GRouterPlane(DataPlane):
                 src=src_node.host.device_id,
                 dst=ctx.node.host.device_id,
             )
-            self.host_stores[node_id].remove(obj)
-            self._store_on_host(obj, ctx.node.node_id)
-            self.catalog.move(obj.object_id, ctx.node.node_id)
+            # Concurrent gets of the same remote object both pay for the
+            # wire transfer, but only the first to finish migrates the
+            # replica; the loser would otherwise remove an object that
+            # is no longer resident at the source.
+            if self.host_stores[node_id].has(obj.object_id):
+                self.host_stores[node_id].remove(obj)
+                self._store_on_host(obj, ctx.node.node_id)
+                self.catalog.move(obj.object_id, ctx.node.node_id)
         if not ctx.is_gpu:
             yield self.env.timeout(SHM_ACCESS_LATENCY)
             return ctx.node.host.device_id, CAT_CFN_CFN

@@ -7,9 +7,13 @@ rate on a fixed period into a :class:`~repro.metrics.Timeline`, so
 experiments can plot PCIe/NIC saturation over a run.
 
 When the environment has a telemetry bus (:mod:`repro.telemetry`),
-the monitor is additionally a bus consumer: every flow start/finish
-that touches a watched link triggers an extra sample, so the timeline
-captures exact utilization transitions between periodic ticks.
+the monitor is additionally a bus consumer: every component-scoped
+rate reallocation (or flow finish) that touches a watched link
+triggers an extra sample, so the timeline captures exact utilization
+transitions between periodic ticks.  Subscribing to
+:class:`~repro.telemetry.events.FlowsReallocated` rather than flow
+starts means a rate change induced by a flow on *other* links of the
+same component still resamples the watched link.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from repro.metrics.stats import Timeline
 from repro.net.links import Link
 from repro.net.network import FlowNetwork
 from repro.sim.core import Environment, Interrupt, Process
-from repro.telemetry.events import FlowFinished, FlowStarted
+from repro.telemetry.events import FlowFinished, FlowsReallocated
 
 
 class LinkUtilizationMonitor:
@@ -64,7 +68,7 @@ class LinkUtilizationMonitor:
         self._process = self.env.process(self._sample_loop())
         bus = self.env.telemetry
         if bus is not None and not self._subscribed:
-            bus.subscribe(FlowStarted, self._on_flow_change)
+            bus.subscribe(FlowsReallocated, self._on_flow_change)
             bus.subscribe(FlowFinished, self._on_flow_change)
             self._subscribed = True
 
@@ -82,7 +86,7 @@ class LinkUtilizationMonitor:
             process.interrupt("monitor stopped")
         bus = self.env.telemetry
         if bus is not None and self._subscribed:
-            bus.unsubscribe(FlowStarted, self._on_flow_change)
+            bus.unsubscribe(FlowsReallocated, self._on_flow_change)
             bus.unsubscribe(FlowFinished, self._on_flow_change)
             self._subscribed = False
 
@@ -103,7 +107,11 @@ class LinkUtilizationMonitor:
             self.timelines[link.link_id].sample(self.env.now, utilization)
 
     def _on_flow_change(self, event) -> None:
-        """Bus consumer: resample when a flow touches a watched link."""
+        """Bus consumer: resample when a rate change touches a watched link.
+
+        Both subscribed event types carry ``links``: the reallocated
+        component's link set, or the finished flow's path.
+        """
         if not self._running:
             return
         if self.horizon is not None and self.env.now >= self.horizon:

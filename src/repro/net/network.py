@@ -1,7 +1,7 @@
 """Fluid-flow bandwidth sharing over directed links.
 
 Transfers are *flows* over link paths.  Whenever the flow population
-changes, every flow's rate is recomputed from scratch:
+changes, flow rates are recomputed:
 
 1. **Reservations** — each flow may carry a ``min_rate`` (the paper's
    ``Rate_least`` from §4.3.2), granted in flow-arrival order up to the
@@ -15,20 +15,48 @@ changes, every flow's rate is recomputed from scratch:
 A multi-hop pipelined transfer is a single flow crossing all its links
 simultaneously; its rate is bounded by the bottleneck link share, which
 is the standard pipelining approximation.
+
+Incremental, component-scoped reallocation
+------------------------------------------
+Rates only couple through shared links, so the flow/link graph
+decomposes into connected components (links sharing a flow are
+connected).  The default ``incremental`` allocator exploits this: when a
+flow starts, finishes, or is cancelled, only its component's rates are
+recomputed.  Flows outside the component keep their rates, their
+progress is advanced lazily per-flow (``_last_update`` accounting), and
+their completion timers are left untouched.  Within the component, a
+flow whose recomputed rate is exactly unchanged keeps its pending timer
+(reschedule elision), eliminating the one-stale-timer-per-flow heap
+churn of a from-scratch allocator.
+
+Two other allocator modes exist for validation and benchmarking:
+
+``fullscan``
+    Same semantics, but components are re-derived from scratch on every
+    event by a union-find sweep over all flows.  Used as the
+    differential-testing reference: its rates, event orderings, and
+    finish times must be bit-identical to ``incremental``.
+``legacy``
+    The original from-scratch allocator: every event advances all
+    flows, recomputes all rates globally, and rearms every completion
+    timer.  Kept as the perf-benchmark baseline (`repro bench`).
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.common.errors import SimulationError
 from repro.net.links import Link
-from repro.sim.core import Environment, Event
-from repro.telemetry.events import FlowFinished, FlowStarted
+from repro.sim.core import Environment, Event, ScheduledCall
+from repro.telemetry.events import FlowFinished, FlowStarted, FlowsReallocated
 
 _EPS = 1e-9
+
+ALLOCATORS = ("incremental", "fullscan", "legacy")
 
 
 @dataclass
@@ -82,7 +110,7 @@ class Flow:
         self.started_at = env.now
         self.done: Event = env.event()
         self._last_update = env.now
-        self._timer_version = 0
+        self._timer: Optional[ScheduledCall] = None
 
     def __repr__(self) -> str:
         return (
@@ -94,7 +122,9 @@ class Flow:
 @dataclass
 class _LinkState:
     link: Link
-    flows: set = field(default_factory=set)
+    # flow_id -> Flow.  Insertion-ordered: flows attach in flow_id
+    # order, so iteration is deterministic without sorting.
+    flows: dict = field(default_factory=dict)
     bytes_carried: float = 0.0
 
 
@@ -108,15 +138,40 @@ class FlowNetwork:
     policy:
         ``"maxmin"`` (default, baseline behaviour) or ``"slo_gated"``
         (GROUTER §4.3.2: residual bandwidth goes to the tightest SLO).
+    allocator:
+        ``"incremental"`` (default), ``"fullscan"`` (differential-test
+        reference), or ``"legacy"`` (original from-scratch allocator,
+        the benchmark baseline).  See the module docstring.  When
+        ``None``, the ``REPRO_NET_ALLOCATOR`` environment variable is
+        consulted, so whole experiment runs can be A/B-compared across
+        allocators without code changes.
     """
 
-    def __init__(self, env: Environment, policy: str = "maxmin") -> None:
+    def __init__(
+        self,
+        env: Environment,
+        policy: str = "maxmin",
+        allocator: Optional[str] = None,
+    ) -> None:
+        if allocator is None:
+            allocator = os.environ.get("REPRO_NET_ALLOCATOR", "incremental")
         if policy not in ("maxmin", "slo_gated"):
             raise SimulationError(f"unknown allocation policy {policy!r}")
+        if allocator not in ALLOCATORS:
+            raise SimulationError(f"unknown allocator {allocator!r}")
         self.env = env
         self.policy = policy
+        self.allocator = allocator
         self._links: dict[str, _LinkState] = {}
-        self._flows: set[Flow] = set()
+        # flow_id -> Flow; insertion-ordered (ids are monotonic), so
+        # iteration is always in flow_id order without sorting.
+        self._flows: dict[int, Flow] = {}
+        # Instrumentation (cheap, always on; exported by `repro bench`).
+        self.realloc_count = 0
+        self.realloc_flows = 0  # cumulative component sizes
+        self.flows_started = 0
+        self.timer_reschedules = 0
+        self.timer_elisions = 0
 
     # -- link registry ----------------------------------------------------
     def add_link(self, link: Link) -> None:
@@ -142,14 +197,7 @@ class FlowNetwork:
 
     def allocated_on(self, link: Link) -> float:
         """Current total allocated rate on *link*."""
-        # Summation order is fixed so results do not depend on set/hash
-        # iteration order (which varies across processes).
-        return sum(
-            flow.rate
-            for flow in sorted(
-                self.link_state(link).flows, key=lambda f: f.flow_id
-            )
-        )
+        return sum(flow.rate for flow in self.link_state(link).flows.values())
 
     def residual_on(self, link: Link) -> float:
         """Unallocated capacity on *link*."""
@@ -157,16 +205,29 @@ class FlowNetwork:
 
     def flows_on(self, link: Link) -> set:
         """Active flows crossing *link* (live view copy)."""
-        return set(self.link_state(link).flows)
+        return set(self.link_state(link).flows.values())
 
     def bytes_carried(self, link: Link) -> float:
         """Total bytes carried by *link* so far (includes in-flight)."""
-        self._advance_progress()
-        return self.link_state(link).bytes_carried
+        state = self.link_state(link)
+        if self.allocator == "legacy":
+            self._advance_all()
+        else:
+            now = self.env.now
+            for flow in state.flows.values():
+                self._advance_flow(flow, now)
+        return state.bytes_carried
 
     @property
     def active_flows(self) -> set[Flow]:
-        return set(self._flows)
+        return set(self._flows.values())
+
+    @property
+    def mean_component_size(self) -> float:
+        """Mean number of flows per rate recomputation so far."""
+        if self.realloc_count == 0:
+            return 0.0
+        return self.realloc_flows / self.realloc_count
 
     # -- flow lifecycle ----------------------------------------------------
     def start_flow(
@@ -195,11 +256,20 @@ class FlowNetwork:
         for link in flow.path:
             if link.link_id not in self._links:
                 self.add_link(link)
-        self._advance_progress()
-        self._flows.add(flow)
+        if self.allocator == "legacy":
+            self._advance_all()
+        self.flows_started += 1
+        self._flows[flow.flow_id] = flow
         for link in flow.path:
-            self._links[link.link_id].flows.add(flow)
-        self._reallocate()
+            self._links[link.link_id].flows[flow.flow_id] = flow
+        if self.allocator == "legacy":
+            self._reallocate_legacy("start", flow.flow_id)
+        else:
+            # A new flow can merge previously disjoint components; the
+            # component search from the attached flow covers the merge.
+            # Progress inside the component is advanced at the old
+            # rates before they change; everything outside stays lazy.
+            self._reallocate_scoped([flow], "start", flow.flow_id)
         bus = self.env.telemetry
         if bus is not None:
             bus.publish(FlowStarted(
@@ -215,63 +285,225 @@ class FlowNetwork:
 
     def cancel_flow(self, flow: Flow) -> None:
         """Abort *flow*; its done-event fails with SimulationError."""
-        if flow not in self._flows:
+        if flow.flow_id not in self._flows:
             raise SimulationError(f"cancel of unknown flow {flow.flow_id}")
-        self._advance_progress()
+        if self.allocator == "legacy":
+            self._advance_all()
+            self._detach(flow)
+            flow.done.fail(SimulationError(f"flow {flow.flow_id} cancelled"))
+            self._reallocate_legacy("cancel", flow.flow_id)
+            return
+        self._advance_flow(flow, self.env.now)
+        # Removing a flow can split its component; every surviving
+        # part contains a link-sharing neighbour of the removed flow,
+        # so seeding the scoped pass with the neighbours covers all of
+        # them without a separate whole-component search.
+        neighbors = self._neighbors(flow)
         self._detach(flow)
         flow.done.fail(SimulationError(f"flow {flow.flow_id} cancelled"))
-        self._reallocate()
+        self._reallocate_scoped(neighbors, "cancel", flow.flow_id)
 
-    # -- internals -----------------------------------------------------------
-    def _detach(self, flow: Flow) -> None:
-        self._flows.discard(flow)
-        for link in flow.path:
-            self._links[link.link_id].flows.discard(flow)
-        flow._timer_version += 1
-        flow.rate = 0.0
+    # -- progress accounting ----------------------------------------------
+    def _advance_flow(self, flow: Flow, now: float) -> None:
+        """Drain bytes for *flow* since its last update."""
+        elapsed = now - flow._last_update
+        if elapsed > 0 and flow.rate > 0:
+            moved = min(flow.remaining, flow.rate * elapsed)
+            flow.remaining -= moved
+            for link in flow.path:
+                self._links[link.link_id].bytes_carried += moved
+        flow._last_update = now
 
-    def _advance_progress(self) -> None:
-        """Drain bytes for elapsed time at each flow's current rate."""
+    def _advance_component(self, flows: Sequence[Flow]) -> None:
         now = self.env.now
-        for flow in sorted(self._flows, key=lambda f: f.flow_id):
-            elapsed = now - flow._last_update
-            if elapsed > 0 and flow.rate > 0:
-                moved = min(flow.remaining, flow.rate * elapsed)
-                flow.remaining -= moved
-                for link in flow.path:
-                    self._links[link.link_id].bytes_carried += moved
-            flow._last_update = now
+        for flow in flows:
+            self._advance_flow(flow, now)
 
-    def _reallocate(self) -> None:
-        """Recompute all flow rates and reschedule completion timers."""
-        # Deterministic iteration order: set order depends on object
-        # hashes, which vary across processes; flow_id does not.
-        rates = self._compute_rates(
-            sorted(self._flows, key=lambda f: f.flow_id)
-        )
+    def _advance_all(self) -> None:
+        now = self.env.now
+        for flow in self._flows.values():
+            self._advance_flow(flow, now)
+
+    # -- component discovery ------------------------------------------------
+    def _component_with(self, flow: Flow) -> tuple[list[Flow], dict[str, _LinkState]]:
+        """The connected component containing *flow* (which is attached).
+
+        Flows are returned sorted by flow_id; links are every link any
+        member crosses (capacity constraints), keyed by link_id.
+        """
+        if self.allocator == "fullscan":
+            for flows, links in self._partition_all():
+                if any(f.flow_id == flow.flow_id for f in flows):
+                    return flows, links
+            raise SimulationError(
+                f"flow {flow.flow_id} missing from component scan"
+            )
+        members: dict[int, Flow] = {flow.flow_id: flow}
+        links: dict[str, _LinkState] = {}
+        stack = [flow]
+        while stack:
+            current = stack.pop()
+            for link in current.path:
+                lid = link.link_id
+                if lid in links:
+                    continue
+                state = self._links[lid]
+                links[lid] = state
+                for other in state.flows.values():
+                    if other.flow_id not in members:
+                        members[other.flow_id] = other
+                        stack.append(other)
+        component = sorted(members.values(), key=lambda f: f.flow_id)
+        return component, links
+
+    def _neighbors(self, flow: Flow) -> list[Flow]:
+        """Flows sharing a link with *flow*, sorted by flow_id."""
+        members: dict[int, Flow] = {}
+        for link in flow.path:
+            for other in self._links[link.link_id].flows.values():
+                if other.flow_id != flow.flow_id:
+                    members[other.flow_id] = other
+        return sorted(members.values(), key=lambda f: f.flow_id)
+
+    def _partition_all(self) -> list[tuple[list[Flow], dict[str, _LinkState]]]:
+        """All components, re-derived from scratch (fullscan reference)."""
+        parent: dict[int, int] = {fid: fid for fid in self._flows}
+
+        def find(a: int) -> int:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        owner: dict[str, int] = {}
+        for fid, flow in self._flows.items():
+            for link in flow.path:
+                other = owner.setdefault(link.link_id, fid)
+                ra, rb = find(fid), find(other)
+                if ra != rb:
+                    parent[max(ra, rb)] = min(ra, rb)
+        groups: dict[int, tuple[list[Flow], dict[str, _LinkState]]] = {}
+        for fid, flow in self._flows.items():
+            flows, links = groups.setdefault(find(fid), ([], {}))
+            flows.append(flow)
+            for link in flow.path:
+                links.setdefault(link.link_id, self._links[link.link_id])
+        return [groups[root] for root in sorted(groups)]
+
+    # -- reallocation -----------------------------------------------------
+    def _reallocate_scoped(
+        self, flows: Sequence[Flow], trigger: str, changed_id: int
+    ) -> None:
+        """Recompute rates for every component touching *flows*.
+
+        *flows* seed the affected region (flow_id-sorted); after a
+        departure they may span several newly split components, each
+        advanced at its old rates and then recomputed independently.
+        """
+        seen: set[int] = set()
+        for flow in flows:
+            if flow.flow_id in seen:
+                continue
+            component, links = self._component_with(flow)
+            seen.update(f.flow_id for f in component)
+            self._advance_component(component)
+            self._recompute_component(component, links, trigger, changed_id)
+
+    def _recompute_component(
+        self,
+        component: list[Flow],
+        links: dict[str, _LinkState],
+        trigger: str,
+        changed_id: int,
+    ) -> None:
+        self.realloc_count += 1
+        self.realloc_flows += len(component)
+        rates = self._compute_rates(component, links)
+        rescheduled: list[int] = []
+        for flow in component:
+            new_rate = rates[flow]
+            if (
+                new_rate == flow.rate
+                and flow.remaining > _EPS
+                and (flow._timer is not None or new_rate <= _EPS)
+            ):
+                # Exactly unchanged: the pending completion timer (or
+                # starved no-timer state) is still correct as-is.
+                self.timer_elisions += 1
+                continue
+            flow.rate = new_rate
+            self._schedule_completion(flow)
+            rescheduled.append(flow.flow_id)
+        self.timer_reschedules += len(rescheduled)
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(FlowsReallocated(
+                t=self.env.now,
+                trigger=trigger,
+                flow_id=changed_id,
+                component=tuple(f.flow_id for f in component),
+                links=tuple(links),
+                rescheduled=tuple(rescheduled),
+            ))
+
+    def _reallocate_legacy(self, trigger: str, changed_id: int) -> None:
+        """Original behaviour: global recompute + rearm every timer."""
+        flows = sorted(self._flows.values(), key=lambda f: f.flow_id)
+        self.realloc_count += 1
+        self.realloc_flows += len(flows)
+        rates = self._compute_rates(flows, self._links)
         for flow, rate in rates.items():
             flow.rate = rate
         # Completion timers are (re)armed in flow_id order: the heap
         # breaks same-time ties by scheduling sequence, so this keeps
         # event ordering independent of set/hash iteration order.
-        for flow in sorted(self._flows, key=lambda f: f.flow_id):
+        for flow in flows:
             self._schedule_completion(flow)
+        self.timer_reschedules += len(flows)
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(FlowsReallocated(
+                t=self.env.now,
+                trigger=trigger,
+                flow_id=changed_id,
+                component=tuple(f.flow_id for f in flows),
+                links=tuple(self._links),
+                rescheduled=tuple(f.flow_id for f in flows),
+            ))
+
+    # -- internals -----------------------------------------------------------
+    def _detach(self, flow: Flow) -> None:
+        self._flows.pop(flow.flow_id, None)
+        for link in flow.path:
+            self._links[link.link_id].flows.pop(flow.flow_id, None)
+        if flow._timer is not None:
+            flow._timer.cancel()
+            flow._timer = None
+        flow.rate = 0.0
 
     def _schedule_completion(self, flow: Flow) -> None:
-        flow._timer_version += 1
-        version = flow._timer_version
+        if flow._timer is not None:
+            flow._timer.cancel()
+            flow._timer = None
         if flow.remaining <= _EPS:
-            self.env.schedule(0.0, lambda f=flow, v=version: self._on_timer(f, v))
+            flow._timer = self.env.schedule(
+                0.0, lambda f=flow: self._on_timer(f)
+            )
             return
         if flow.rate <= _EPS:
             return  # starved; will be rescheduled on the next change
         eta = flow.remaining / flow.rate
-        self.env.schedule(eta, lambda f=flow, v=version: self._on_timer(f, v))
+        flow._timer = self.env.schedule(eta, lambda f=flow: self._on_timer(f))
 
-    def _on_timer(self, flow: Flow, version: int) -> None:
-        if flow._timer_version != version or flow.done.triggered:
+    def _on_timer(self, flow: Flow) -> None:
+        flow._timer = None
+        if flow.done.triggered or flow.flow_id not in self._flows:
             return
-        self._advance_progress()
+        now = self.env.now
+        if self.allocator == "legacy":
+            self._advance_all()
+        else:
+            self._advance_flow(flow, now)
         # Float-drift guard: a microbyte of residual is "done"; likewise
         # finish when the residual is too small for the clock to advance
         # (now + eta == now), or the timer would loop at one timestamp.
@@ -280,22 +512,24 @@ class FlowNetwork:
             eta = (
                 flow.remaining / flow.rate if flow.rate > _EPS else float("inf")
             )
-            if eta != float("inf") and self.env.now + eta > self.env.now:
-                self._schedule_completion(flow)
+            if eta != float("inf") and now + eta > now:
+                flow._timer = self.env.schedule(
+                    eta, lambda f=flow: self._on_timer(f)
+                )
                 return
             if eta == float("inf"):
                 return  # starved; rescheduled on the next rate change
-        flow.remaining = 0.0
-        self._detach(flow)
-        flow.done.succeed(
-            FlowStats(
-                flow_id=flow.flow_id,
-                size=flow.size,
-                started_at=flow.started_at,
-                finished_at=self.env.now,
-            )
-        )
-        self._reallocate()
+        if self.allocator == "legacy":
+            flow.remaining = 0.0
+            self._detach(flow)
+            flow.done.succeed(self._stats(flow))
+            self._reallocate_legacy("finish", flow.flow_id)
+        else:
+            neighbors = self._neighbors(flow)
+            flow.remaining = 0.0
+            self._detach(flow)
+            flow.done.succeed(self._stats(flow))
+            self._reallocate_scoped(neighbors, "finish", flow.flow_id)
         bus = self.env.telemetry
         if bus is not None:
             bus.publish(FlowFinished(
@@ -309,20 +543,36 @@ class FlowNetwork:
                 started_at=flow.started_at,
             ))
 
+    def _stats(self, flow: Flow) -> FlowStats:
+        return FlowStats(
+            flow_id=flow.flow_id,
+            size=flow.size,
+            started_at=flow.started_at,
+            finished_at=self.env.now,
+        )
+
     # -- rate computation -------------------------------------------------
-    def _compute_rates(self, flows: list[Flow]) -> dict[Flow, float]:
+    def _compute_rates(
+        self, flows: list[Flow], links: dict[str, _LinkState]
+    ) -> dict[Flow, float]:
+        """Rates for *flows* (flow_id-sorted) over *links*.
+
+        *links* restricts the residual bookkeeping to the links the
+        component actually crosses; the legacy allocator passes every
+        registered link (its original cost model).
+        """
         if not flows:
             return {}
         rates: dict[Flow, float] = {}
         residual: dict[str, float] = {
-            lid: state.link.capacity for lid, state in self._links.items()
+            lid: state.link.capacity for lid, state in links.items()
         }
 
         # Phase 1: reservations are granted in flow-arrival order, each
         # up to the path's remaining capacity.  Admission-order
         # guarantees give performance isolation (§4.3.2): a later flood
         # of reserving flows cannot dilute an earlier flow's Rate_least.
-        for flow in sorted(flows, key=lambda f: f.flow_id):
+        for flow in flows:
             if flow.min_rate <= 0:
                 rates[flow] = 0.0
                 continue

@@ -164,6 +164,12 @@ class TransferEngine:
     def split_sizes(self, paths: Sequence[Path], size: float) -> list[float]:
         """Split *size* across *paths* proportionally to bandwidth."""
         total_bw = sum(path.nominal_bandwidth for path in paths)
+        if total_bw <= 0:
+            routes = ", ".join("->".join(path.devices()) for path in paths)
+            raise SimulationError(
+                "cannot split transfer: every path has zero nominal "
+                f"bandwidth ({routes})"
+            )
         shares = [size * path.nominal_bandwidth / total_bw for path in paths]
         # Fix rounding drift so the shares sum exactly to size.
         shares[-1] += size - sum(shares)

@@ -7,6 +7,7 @@ from repro.sim.core import (
     Event,
     Interrupt,
     Process,
+    ScheduledCall,
     Timeout,
 )
 from repro.sim.resources import Container, Request, Resource, Store
@@ -18,6 +19,7 @@ __all__ = [
     "Event",
     "Interrupt",
     "Process",
+    "ScheduledCall",
     "Timeout",
     "Container",
     "Request",

@@ -36,6 +36,31 @@ from repro.common.errors import SimulationError
 _PENDING = object()
 
 
+class ScheduledCall:
+    """Cancellable handle for a callable queued via :meth:`Environment.schedule`.
+
+    Cancelling marks the heap entry dead instead of removing it (heap
+    deletion is O(n)); the environment counts dead entries and compacts
+    the heap when they outnumber the live ones, so long flow-churn runs
+    do not accumulate unbounded cancelled-timer garbage.
+    """
+
+    __slots__ = ("_env", "call", "cancelled")
+
+    def __init__(self, env: "Environment", call: Callable[[], None]) -> None:
+        self._env = env
+        self.call: Optional[Callable[[], None]] = call
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the call from running (idempotent)."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self.call = None  # release the closure immediately
+        self._env._note_stale()
+
+
 class Interrupt(Exception):
     """Thrown into a process by :meth:`Process.interrupt`."""
 
@@ -276,10 +301,16 @@ class Environment:
     # Called with each new environment when set (telemetry capture).
     telemetry_hook: Optional[Callable[["Environment"], Any]] = None
 
+    # Compaction never triggers below this many dead entries: tiny
+    # queues are cheaper to drain than to rebuild.
+    _COMPACT_MIN_STALE = 8
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = initial_time
         self._queue: list[tuple[float, int, object]] = []
         self._seq = 0
+        self._stale = 0
+        self.compactions = 0
         self.telemetry = None
         hook = Environment.telemetry_hook
         if hook is not None:
@@ -322,11 +353,48 @@ class Environment:
         heapq.heappush(self._queue, (self._now + delay, self._seq, call))
         self._seq += 1
 
-    def schedule(self, delay: float, call: Callable[[], None]) -> None:
-        """Public hook: run *call* after *delay* seconds."""
+    def schedule(self, delay: float, call: Callable[[], None]) -> ScheduledCall:
+        """Public hook: run *call* after *delay* seconds.
+
+        Returns a :class:`ScheduledCall` handle whose ``cancel()``
+        prevents the call from running.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self._schedule_call(call, delay)
+        handle = ScheduledCall(self, call)
+        heapq.heappush(self._queue, (self._now + delay, self._seq, handle))
+        self._seq += 1
+        return handle
+
+    # -- heap hygiene --------------------------------------------------------
+    @property
+    def queue_size(self) -> int:
+        """Entries currently on the heap (including dead ones)."""
+        return len(self._queue)
+
+    @property
+    def stale_entries(self) -> int:
+        """Cancelled-but-still-queued entries awaiting pop or compaction."""
+        return self._stale
+
+    def _note_stale(self) -> None:
+        self._stale += 1
+        if (
+            self._stale >= self._COMPACT_MIN_STALE
+            and self._stale > len(self._queue) // 2
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant."""
+        self._queue = [
+            entry
+            for entry in self._queue
+            if not (isinstance(entry[2], ScheduledCall) and entry[2].cancelled)
+        ]
+        heapq.heapify(self._queue)
+        self._stale = 0
+        self.compactions += 1
 
     # -- execution ------------------------------------------------------------
     def step(self) -> None:
@@ -347,6 +415,11 @@ class Environment:
                 if isinstance(exc, BaseException):
                     raise exc
                 raise SimulationError(str(exc))
+        elif isinstance(entry, ScheduledCall):
+            if entry.cancelled:
+                self._stale -= 1
+            else:
+                entry.call()
         else:
             entry()
 

@@ -51,6 +51,24 @@ class FlowFinished(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class FlowsReallocated(TelemetryEvent):
+    """One component-scoped rate recomputation in the flow network.
+
+    Published on every flow arrival/departure for each connected
+    component whose rates were recomputed.  ``component`` lists the
+    flow ids whose rates were re-derived, ``links`` the links bounding
+    them, and ``rescheduled`` the subset whose completion timers were
+    actually rearmed (the rest had exactly unchanged rates).
+    """
+
+    trigger: str  # "start" | "finish" | "cancel"
+    flow_id: int  # the flow whose arrival/departure triggered it
+    component: tuple[int, ...]
+    links: tuple[str, ...]
+    rescheduled: tuple[int, ...]
+
+
+@dataclass(frozen=True)
 class TransferStarted(TelemetryEvent):
     """A (possibly multi-path, chunk-batched) transfer began."""
 

@@ -1,0 +1,102 @@
+"""Tests for the ``repro bench`` subcommand and the bench library."""
+
+import json
+
+import pytest
+
+from repro.bench import BENCHMARKS, format_summary, run_benchmarks
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def quick_document():
+    # One real (tiny) run shared by the library-level assertions.
+    return run_benchmarks(
+        quick=True,
+        names=["flow_churn"],
+        allocators=("incremental", "legacy"),
+    )
+
+
+class TestBenchLibrary:
+    def test_registry_names(self):
+        assert set(BENCHMARKS) == {
+            "flow_churn", "fanin_hotspot", "multipath_chunk_storm"
+        }
+
+    def test_document_shape(self, quick_document):
+        doc = quick_document
+        assert doc["schema"] == 1
+        assert doc["mode"] == "quick"
+        assert len(doc["benchmarks"]) == 2
+        run = doc["benchmarks"][0]
+        for key in (
+            "name", "allocator", "flow_events", "events_per_sec",
+            "realloc_count", "mean_component_size", "wall_s",
+        ):
+            assert key in run
+        assert "flow_churn" in doc["speedup_incremental_over_legacy"]
+
+    def test_event_counts_match_across_allocators(self, quick_document):
+        # Both allocators must process the same workload: identical
+        # flow-event counts, differing only in wall-clock.
+        by_alloc = {
+            run["allocator"]: run for run in quick_document["benchmarks"]
+        }
+        assert (
+            by_alloc["incremental"]["flow_events"]
+            == by_alloc["legacy"]["flow_events"]
+        )
+
+    def test_component_scoping_visible_in_metrics(self, quick_document):
+        # 8 disjoint components: incremental recomputes far fewer flows
+        # per event than the global allocator.
+        by_alloc = {
+            run["allocator"]: run for run in quick_document["benchmarks"]
+        }
+        assert (
+            by_alloc["incremental"]["mean_component_size"]
+            < by_alloc["legacy"]["mean_component_size"] / 2
+        )
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            run_benchmarks(names=["nope"])
+
+    def test_summary_mentions_speedup(self, quick_document):
+        text = format_summary(quick_document)
+        assert "flow_churn" in text
+        assert "speedup[flow_churn]" in text
+
+
+class TestBenchCommand:
+    def test_writes_results_file(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_net.json"
+        code = main([
+            "bench", "flow_churn", "--quick", "--out", str(out),
+            "--allocators", "incremental",
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["generated_by"] == "repro bench"
+        assert [run["name"] for run in doc["benchmarks"]] == ["flow_churn"]
+        # Single-allocator runs have no speedup pairs.
+        assert doc["speedup_incremental_over_legacy"] == {}
+        assert "flow_churn" in capsys.readouterr().out
+
+    def test_unknown_benchmark_exits_2(self, tmp_path, capsys):
+        code = main([
+            "bench", "nope", "--quick",
+            "--out", str(tmp_path / "x.json"),
+        ])
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_unknown_allocator_exits_2(self, tmp_path, capsys):
+        code = main([
+            "bench", "flow_churn", "--quick",
+            "--out", str(tmp_path / "x.json"),
+            "--allocators", "quantum",
+        ])
+        assert code == 2
+        assert "unknown allocator" in capsys.readouterr().err

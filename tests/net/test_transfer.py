@@ -126,6 +126,23 @@ class TestMultiPath:
         # Dynamic sizing: 800/80 = 200/20 = 10s on both paths.
         assert proc.value.finished_at == pytest.approx(10.0)
 
+    def test_split_all_paths_zero_bandwidth_raises(self, engine):
+        # Link itself rejects capacity <= 0, so model a degenerate
+        # path (e.g. a disabled route from a topology preset) with a
+        # duck-typed stand-in exposing the two attributes split_sizes
+        # reads.
+        class DeadPath:
+            nominal_bandwidth = 0.0
+
+            def devices(self):
+                return ["g0", "sw", "g1"]
+
+        with pytest.raises(SimulationError) as excinfo:
+            engine.split_sizes([DeadPath(), DeadPath()], 1000.0)
+        # The error names the offending routes.
+        assert "zero nominal" in str(excinfo.value)
+        assert "g0->sw->g1" in str(excinfo.value)
+
     def test_realistic_nvlink_aggregation(self, env, net, engine):
         # 1 GB over one 24 GB/s NVLink vs two parallel paths (24+24).
         single = Path((link("d", "g0", "g1", 24 * GB),))

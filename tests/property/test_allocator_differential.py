@@ -1,0 +1,226 @@
+"""Differential testing of the incremental allocator.
+
+The ``incremental`` allocator (BFS component scoping + lazy progress +
+timer elision) must be *bit-identical* to the retained ``fullscan``
+reference, which re-derives every component from scratch with a
+union-find sweep on each event but shares the same lazy semantics.
+Each seeded workload is replayed under both allocators and every
+observable — finish times, cancel outcomes, mid-run rate probes, and
+the reallocation/elision counters — is compared with ``==`` (no
+tolerances).
+
+200+ seeds per policy, exercising mixed ``min_rate`` / ``rate_cap`` /
+``slo_deadline`` flows and mid-flight cancels on a DGX-style topology
+(per-GPU PCIe uplinks into two switch groups, shared host links, NIC).
+
+The ``legacy`` allocator (the original global recompute) is also
+checked for maxmin — its rates reach the same fixpoint through a
+different float-operation order, so finish times match to relative
+1e-9 — and exactly on single-link slo_gated workloads, where every
+flow shares one component and the recompute cadence coincides.
+"""
+
+import random
+
+import pytest
+
+from repro.common.units import GB, MB
+from repro.net import FlowNetwork, Link, LinkKind
+from repro.sim import Environment
+
+N_SEEDS = 200
+
+
+def _dgx_links() -> list[Link]:
+    """A DGX-flavoured PCIe tree: 8 GPUs, 2 switch groups, host, NIC."""
+    links = []
+    for g in range(8):
+        links.append(Link(
+            link_id=f"gpu{g}.up", src=f"gpu{g}", dst=f"sw{g // 4}",
+            capacity=12 * GB, kind=LinkKind.PCIE,
+        ))
+    for s in range(2):
+        links.append(Link(
+            link_id=f"sw{s}.host", src=f"sw{s}", dst="host",
+            capacity=16 * GB, kind=LinkKind.PCIE,
+        ))
+    links.append(Link(
+        link_id="host.nic", src="host", dst="nic",
+        capacity=10 * GB, kind=LinkKind.NIC,
+    ))
+    return links
+
+
+def _path_choices(links: list[Link]) -> list[tuple[int, ...]]:
+    """Candidate paths as index tuples into the link list.
+
+    gpu->sw (1 hop), gpu->sw->host (2 hops), gpu->sw->host->nic
+    (3 hops), sw->host (1 hop), host->nic (1 hop).
+    """
+    choices: list[tuple[int, ...]] = []
+    for g in range(8):
+        sw_host = 8 + g // 4
+        choices.append((g,))
+        choices.append((g, sw_host))
+        choices.append((g, sw_host, 10))
+    choices.append((8,))
+    choices.append((9,))
+    choices.append((10,))
+    return choices
+
+
+def _make_workload(seed: int, policy: str) -> list[dict]:
+    """A deterministic flow schedule: starts (+ optional cancels)."""
+    rng = random.Random(seed)
+    paths = _path_choices(_dgx_links())
+    specs = []
+    for index in range(rng.randint(4, 16)):
+        start = round(rng.uniform(0.0, 0.4), 6)
+        spec = {
+            "index": index,
+            "start": start,
+            "path": rng.choice(paths),
+            "size": rng.choice([2, 8, 32, 128]) * MB * rng.uniform(0.5, 1.5),
+            "min_rate": rng.choice([0.0, 0.0, 1 * GB, 4 * GB]),
+            "rate_cap": rng.choice(
+                [float("inf"), float("inf"), 6 * GB, 2 * GB]
+            ),
+            "slo_deadline": None,
+            "cancel_at": None,
+        }
+        if policy == "slo_gated" and rng.random() < 0.6:
+            spec["slo_deadline"] = start + rng.uniform(0.01, 0.8)
+        if rng.random() < 0.15:
+            spec["cancel_at"] = start + rng.uniform(0.001, 0.1)
+        specs.append(spec)
+    return specs
+
+
+def _replay(specs: list[dict], policy: str, allocator: str) -> dict:
+    """Run one workload under *allocator*; return every observable."""
+    env = Environment()
+    net = FlowNetwork(env, policy=policy, allocator=allocator)
+    links = _dgx_links()
+    outcome: dict[int, object] = {}
+    probes: list[tuple[int, float]] = []
+
+    def starter(spec):
+        yield env.timeout(spec["start"])
+        flow = net.start_flow(
+            [links[i] for i in spec["path"]],
+            spec["size"],
+            min_rate=spec["min_rate"],
+            rate_cap=spec["rate_cap"],
+            slo_deadline=spec["slo_deadline"],
+            tag=str(spec["index"]),
+        )
+        spec["flow"] = flow
+        try:
+            yield flow.done
+            outcome[spec["index"]] = ("finished", env.now)
+        except Exception:
+            outcome[spec["index"]] = ("cancelled", env.now)
+
+    def canceller(spec):
+        yield env.timeout(spec["cancel_at"])
+        flow = spec.get("flow")
+        if flow is not None and not flow.done.triggered:
+            net.cancel_flow(flow)
+
+    def prober():
+        # Sample all active rates mid-run: catches divergence that
+        # happens to converge again by finish time.
+        for _ in range(5):
+            yield env.timeout(0.013)
+            for spec in specs:
+                flow = spec.get("flow")
+                if flow is not None and not flow.done.triggered:
+                    probes.append((spec["index"], flow.rate))
+
+    for spec in specs:
+        env.process(starter(spec))
+        if spec["cancel_at"] is not None:
+            env.process(canceller(spec))
+    env.process(prober())
+    env.run()
+    return {
+        "outcome": outcome,
+        "probes": probes,
+        "realloc_count": net.realloc_count,
+        "realloc_flows": net.realloc_flows,
+        "timer_reschedules": net.timer_reschedules,
+        "timer_elisions": net.timer_elisions,
+        "end": env.now,
+    }
+
+
+@pytest.mark.parametrize("policy", ["maxmin", "slo_gated"])
+def test_incremental_matches_fullscan_bit_exactly(policy):
+    mismatches = []
+    for seed in range(N_SEEDS):
+        specs_a = _make_workload(seed, policy)
+        specs_b = _make_workload(seed, policy)
+        a = _replay(specs_a, policy, "incremental")
+        b = _replay(specs_b, policy, "fullscan")
+        if a != b:
+            mismatches.append(seed)
+    assert not mismatches, (
+        f"incremental diverged from fullscan reference for {policy} "
+        f"seeds {mismatches[:10]} ({len(mismatches)}/{N_SEEDS})"
+    )
+
+
+def test_incremental_matches_legacy_finish_times_maxmin():
+    """Same fixpoint, different float order: finish times to rel 1e-9."""
+    for seed in range(40):
+        specs_a = _make_workload(seed, "maxmin")
+        specs_b = _make_workload(seed, "maxmin")
+        a = _replay(specs_a, "maxmin", "incremental")
+        b = _replay(specs_b, "maxmin", "legacy")
+        assert a["outcome"].keys() == b["outcome"].keys()
+        for index, (kind, at) in a["outcome"].items():
+            other_kind, other_at = b["outcome"][index]
+            assert kind == other_kind, f"seed {seed} flow {index}"
+            assert at == pytest.approx(other_at, rel=1e-9, abs=1e-9), (
+                f"seed {seed} flow {index}: {at} vs {other_at}"
+            )
+
+
+def test_incremental_matches_legacy_exactly_single_component():
+    """One shared link => one component => identical recompute cadence.
+
+    This holds for slo_gated too: the time-varying SLO target is
+    re-evaluated at exactly the same instants in both allocators when
+    every flow belongs to the single component.
+    """
+    def replay(allocator, policy, seed):
+        rng = random.Random(seed)
+        env = Environment()
+        net = FlowNetwork(env, policy=policy, allocator=allocator)
+        link = Link(link_id="only", src="a", dst="b",
+                    capacity=8 * GB, kind=LinkKind.PCIE)
+        finished: list[tuple[int, float]] = []
+
+        def starter(index, start, size, deadline):
+            yield env.timeout(start)
+            flow = net.start_flow(
+                [link], size, slo_deadline=deadline, tag=str(index)
+            )
+            yield flow.done
+            finished.append((index, env.now))
+
+        for index in range(10):
+            start = round(rng.uniform(0.0, 0.2), 6)
+            size = rng.choice([4, 16, 64]) * MB
+            deadline = (
+                start + rng.uniform(0.05, 0.5)
+                if policy == "slo_gated" and rng.random() < 0.7 else None
+            )
+            env.process(starter(index, start, size, deadline))
+        env.run()
+        return sorted(finished)
+
+    for policy in ("maxmin", "slo_gated"):
+        for seed in range(25):
+            assert replay("incremental", policy, seed) == \
+                replay("legacy", policy, seed), f"{policy} seed {seed}"

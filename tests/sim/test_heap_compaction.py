@@ -1,0 +1,134 @@
+"""Heap hygiene: ScheduledCall handles, stale accounting, compaction.
+
+``Environment.schedule`` returns a cancellable handle; cancelled
+entries stay on the heap as tombstones until they are either popped
+(decrementing the stale counter) or swept out by compaction, which
+triggers once stale entries are both >= ``_COMPACT_MIN_STALE`` and the
+majority of the queue.
+"""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Environment, ScheduledCall
+
+
+class TestScheduledCall:
+    def test_schedule_returns_handle_and_fires(self):
+        env = Environment()
+        fired = []
+        handle = env.schedule(1.5, lambda: fired.append(env.now))
+        assert isinstance(handle, ScheduledCall)
+        assert not handle.cancelled
+        env.run()
+        assert fired == [1.5]
+
+    def test_cancelled_call_never_fires(self):
+        env = Environment()
+        fired = []
+        keep = env.schedule(1.0, lambda: fired.append("keep"))
+        doomed = env.schedule(0.5, lambda: fired.append("doomed"))
+        doomed.cancel()
+        env.run()
+        assert fired == ["keep"]
+        assert doomed.cancelled and not keep.cancelled
+
+    def test_cancel_is_idempotent(self):
+        env = Environment()
+        handle = env.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert env.stale_entries == 1
+
+    def test_cancel_releases_closure(self):
+        env = Environment()
+        handle = env.schedule(1.0, lambda: None)
+        assert handle.call is not None
+        handle.cancel()
+        assert handle.call is None
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.schedule(-0.1, lambda: None)
+
+    def test_popped_stale_entry_advances_clock(self):
+        # A cancelled timer that survives until its pop still advances
+        # the clock to its deadline (the pre-handle behaviour, which
+        # experiment outputs depend on).
+        env = Environment()
+        handle = env.schedule(2.0, lambda: None)
+        handle.cancel()
+        env.run()
+        assert env.now == 2.0
+        assert env.stale_entries == 0
+
+
+class TestStaleAccountingAndCompaction:
+    def test_stale_counter_tracks_cancels_and_pops(self):
+        env = Environment()
+        handles = [env.schedule(float(i + 1), lambda: None) for i in range(6)]
+        for handle in handles[:3]:
+            handle.cancel()
+        assert env.stale_entries == 3
+        assert env.compactions == 0  # below _COMPACT_MIN_STALE
+        env.run()
+        assert env.stale_entries == 0
+
+    def test_compaction_triggers_at_majority_stale(self):
+        env = Environment()
+        handles = [
+            env.schedule(float(i + 1), lambda: None) for i in range(14)
+        ]
+        # 8 cancels: >= _COMPACT_MIN_STALE and > 14 // 2.
+        for handle in handles[:8]:
+            handle.cancel()
+        assert env.compactions == 1
+        assert env.stale_entries == 0
+        assert env.queue_size == 6
+
+    def test_no_compaction_below_min_stale(self):
+        env = Environment()
+        handles = [env.schedule(float(i + 1), lambda: None) for i in range(4)]
+        for handle in handles[:3]:
+            handle.cancel()  # majority stale, but only 3 < 8
+        assert env.compactions == 0
+        assert env.queue_size == 4
+
+    def test_firing_order_preserved_across_compaction(self):
+        env = Environment()
+        fired = []
+        keepers = []
+        for i in range(10):
+            keepers.append(env.schedule(
+                float(10 - i), lambda t=10 - i: fired.append(t)
+            ))
+        doomed = [
+            env.schedule(0.25 * (i + 1), lambda: fired.append("dead"))
+            for i in range(12)
+        ]
+        for handle in doomed:
+            handle.cancel()
+        assert env.compactions >= 1
+        env.run()
+        assert fired == sorted(fired)
+        assert "dead" not in fired
+        assert len(fired) == 10
+
+    def test_compaction_keeps_other_entry_kinds(self):
+        # Events and process bootstrap callables share the heap with
+        # ScheduledCalls; compaction must only drop cancelled handles.
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(5.0)
+            log.append(env.now)
+
+        env.process(proc())
+        doomed = [env.schedule(1.0, lambda: None) for _ in range(20)]
+        for handle in doomed:
+            handle.cancel()
+        assert env.compactions >= 1
+        env.run()
+        assert log == [5.0]
