@@ -1,4 +1,4 @@
-"""Performance microbenchmarks for the repro data plane."""
+"""Performance microbenchmarks for the repro data plane and platform."""
 
 from repro.bench.netflow import (
     BENCHMARKS,
@@ -11,15 +11,25 @@ from repro.bench.netflow import (
     run_benchmarks,
     write_results,
 )
+from repro.bench.requests import (
+    PLATFORM_BENCHMARKS,
+    bench_request_churn,
+    format_platform_summary,
+    run_platform_benchmarks,
+)
 
 __all__ = [
     "BENCHMARKS",
     "DEFAULT_ALLOCATORS",
+    "PLATFORM_BENCHMARKS",
     "SCHEMA_VERSION",
     "bench_fanin_hotspot",
     "bench_flow_churn",
     "bench_multipath_chunk_storm",
+    "bench_request_churn",
+    "format_platform_summary",
     "format_summary",
     "run_benchmarks",
+    "run_platform_benchmarks",
     "write_results",
 ]

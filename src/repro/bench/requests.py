@@ -1,0 +1,139 @@
+"""Platform microbenchmark: request churn through the lifecycle pipeline.
+
+``request_churn`` pushes N concurrent requests through the driving
+workflow on a GROUTER platform — the workload that made the seed's
+list-backed pending queue quadratic (every ``finish`` was a
+``list.remove``, every eviction-oracle probe a ``list.index``).  It
+reports end-to-end requests per second plus the pending-queue
+operation counters, so a regression that sneaks a linear scan back
+onto the queue path shows up as a throughput cliff in
+``BENCH_platform.json`` next to the op counts that explain it.
+
+Results ride the same schema/IO helpers as the network benchmarks
+(:mod:`repro.bench.netflow`); ``repro bench --suite platform`` is the
+CLI entry point.
+"""
+
+from __future__ import annotations
+
+import platform as _platform
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.bench.netflow import SCHEMA_VERSION
+from repro.platform import build_platform
+from repro.workflow import get_workload
+
+
+def bench_request_churn(
+    requests: int = 96,
+    waves: int = 8,
+    workflow: str = "driving",
+    plane_name: str = "grouter",
+    replicas: int = 1,
+    dispatch: str = "round-robin",
+) -> dict:
+    """N concurrent requests in back-to-back waves; measures queue cost.
+
+    Requests are submitted in ``waves`` bursts spaced one second of sim
+    time apart, so the pending queue repeatedly fills and drains — the
+    access pattern that exercises enqueue/finish/bind/position together
+    with compaction.
+    """
+    plat = build_platform(plane_name=plane_name, dispatch=dispatch)
+    deployment = plat.deploy(get_workload(workflow), replicas=replicas)
+    env = plat.env
+    per_wave = max(1, requests // waves)
+    procs = []
+
+    def driver():
+        for _wave in range(waves):
+            for _ in range(per_wave):
+                procs.append(plat.submit(deployment))
+            yield env.timeout(1.0)
+
+    env.process(driver())
+    start = time.perf_counter()
+    env.run()
+    wall = max(time.perf_counter() - start, 1e-9)
+    completed = len(plat.results)
+    counters = dict(plat.queue.counters)
+    queue_ops = (
+        counters["enqueue"] + counters["finish"]
+        + counters["bind"] + counters["position"]
+    )
+    return {
+        "name": "request_churn",
+        "plane": plane_name,
+        "config": {
+            "requests": per_wave * waves,
+            "waves": waves,
+            "workflow": workflow,
+            "replicas": replicas,
+            "dispatch": dispatch,
+        },
+        "completed": completed,
+        "wall_s": wall,
+        "requests_per_sec": completed / wall,
+        "sim_time": env.now,
+        "queue_ops": counters,
+        "queue_ops_total": queue_ops,
+        "queue_ops_per_request": queue_ops / max(completed, 1),
+        "pending_bound_objects_after": plat.queue.bound_objects,
+    }
+
+
+BenchFn = Callable[..., dict]
+
+PLATFORM_BENCHMARKS: dict[str, tuple[BenchFn, dict, dict]] = {
+    # name -> (fn, full-run kwargs, quick-run kwargs)
+    "request_churn": (
+        bench_request_churn,
+        {"requests": 96, "waves": 8},
+        {"requests": 24, "waves": 4},
+    ),
+}
+
+
+def run_platform_benchmarks(
+    quick: bool = False,
+    names: Optional[Sequence[str]] = None,
+) -> dict:
+    """Run the selected platform benchmarks; returns BENCH_platform.json."""
+    selected = list(names) if names else list(PLATFORM_BENCHMARKS)
+    unknown = [n for n in selected if n not in PLATFORM_BENCHMARKS]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(PLATFORM_BENCHMARKS)}"
+        )
+    runs: list[dict] = []
+    for name in selected:
+        fn, full_kwargs, quick_kwargs = PLATFORM_BENCHMARKS[name]
+        kwargs = quick_kwargs if quick else full_kwargs
+        runs.append(fn(**kwargs))
+    return {
+        "schema": SCHEMA_VERSION,
+        "generated_by": "repro bench --suite platform",
+        "mode": "quick" if quick else "full",
+        "python": _platform.python_version(),
+        "benchmarks": runs,
+    }
+
+
+def format_platform_summary(document: dict) -> str:
+    """Human-readable summary for logs and CI output."""
+    lines = [
+        f"{'benchmark':<18} {'plane':<10} {'req/s':>10} {'wall (s)':>9} "
+        f"{'queue ops':>10} {'ops/req':>8} {'compact':>8} {'leaked':>7}"
+    ]
+    for run in document["benchmarks"]:
+        lines.append(
+            f"{run['name']:<18} {run['plane']:<10} "
+            f"{run['requests_per_sec']:>10.0f} {run['wall_s']:>9.3f} "
+            f"{run['queue_ops_total']:>10} "
+            f"{run['queue_ops_per_request']:>8.1f} "
+            f"{run['queue_ops']['compactions']:>8} "
+            f"{run['pending_bound_objects_after']:>7}"
+        )
+    return "\n".join(lines)

@@ -11,7 +11,9 @@ Commands
 ``workloads``
     Describe the evaluation workflow suite.
 ``bench``
-    Run the network-engine microbenchmarks; write ``BENCH_net.json``.
+    Run performance microbenchmarks.  ``--suite net`` (default) covers
+    the network engine (``BENCH_net.json``); ``--suite platform`` runs
+    the request-lifecycle churn benchmark (``BENCH_platform.json``).
 """
 
 from __future__ import annotations
@@ -251,6 +253,8 @@ def _cmd_bench(args) -> int:
     from repro.bench import format_summary, run_benchmarks, write_results
     from repro.net.network import ALLOCATORS
 
+    if args.suite == "platform":
+        return _cmd_bench_platform(args)
     allocators = args.allocators.split(",") if args.allocators else None
     if allocators:
         unknown = [a for a in allocators if a not in ALLOCATORS]
@@ -275,6 +279,37 @@ def _cmd_bench(args) -> int:
             os.makedirs(out_dir, exist_ok=True)
         write_results(document, args.out)
         print(f"\nwrote {args.out}")
+    return 0
+
+
+def _cmd_bench_platform(args) -> int:
+    from repro.bench import (
+        format_platform_summary,
+        run_platform_benchmarks,
+        write_results,
+    )
+
+    if args.allocators:
+        print("--allocators applies to the net suite only", file=sys.stderr)
+        return 2
+    try:
+        document = run_platform_benchmarks(
+            quick=args.quick,
+            names=args.benchmarks or None,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_platform_summary(document))
+    out = args.out
+    if out == "BENCH_net.json":  # suite-specific default
+        out = "BENCH_platform.json"
+    if out:
+        out_dir = os.path.dirname(out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        write_results(document, out)
+        print(f"\nwrote {out}")
     return 0
 
 
@@ -322,16 +357,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="run network-engine microbenchmarks (see benchmarks/perf/)",
+        help="run performance microbenchmarks (see benchmarks/perf/)",
     )
     bench.add_argument(
         "benchmarks", nargs="*",
-        help="benchmark names to run (default: all)",
+        help="benchmark names to run (default: all in the suite)",
+    )
+    bench.add_argument(
+        "--suite", choices=("net", "platform"), default="net",
+        help="benchmark suite: network engine (default) or the "
+             "request-lifecycle platform",
     )
     bench.add_argument("--quick", action="store_true",
                        help="scaled-down parameters for CI smoke runs")
     bench.add_argument("--out", default="BENCH_net.json",
-                       help="JSON results file (default: BENCH_net.json)")
+                       help="JSON results file (default: BENCH_net.json, "
+                            "or BENCH_platform.json for --suite platform)")
     bench.add_argument(
         "--allocators",
         help="comma-separated allocator modes "

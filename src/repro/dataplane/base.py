@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Protocol
 
 from repro.common.errors import StorageError
 from repro.common.ids import IdGenerator
@@ -52,6 +52,19 @@ CAT_GFN_HOST = "gfn-host"
 CAT_CFN_CFN = "cfn-cfn"
 CAT_MIGRATION = "migration"
 CAT_RESTORE = "restore"
+
+
+class QueueOracle(Protocol):
+    """Answers "how close is this object's request to the queue head?".
+
+    The platform's pending-request index implements this; planes that
+    rank eviction victims by request position (GROUTER §4.4.2 evicts
+    data whose consumer is furthest from execution) consult it through
+    :attr:`DataPlane.queue_oracle`.  ``None`` means "not pending".
+    """
+
+    def position_of(self, object_id: str) -> Optional[int]:
+        ...
 
 
 @dataclass
@@ -138,6 +151,7 @@ class DataPlane(abc.ABC):
         self.acl = AccessController()
         self.catalog = DataCatalog([node.node_id for node in cluster.nodes])
         self.metrics = PlaneMetrics()
+        self.queue_oracle: Optional[QueueOracle] = None
 
         self.device_memory: dict[str, DeviceMemory] = {}
         self.pools: dict[str, MemoryPool] = {}
@@ -177,6 +191,14 @@ class DataPlane(abc.ABC):
                 pool.prewarm(min(pool_prewarm, 0.25 * gpu.memory_capacity))
 
     # -- public API ----------------------------------------------------------
+    def attach_queue_oracle(self, oracle: Optional[QueueOracle]) -> None:
+        """Wire the platform's pending-request index into this plane.
+
+        Planes that never rank eviction victims simply ignore the
+        oracle; GROUTER consults it when choosing what to spill.
+        """
+        self.queue_oracle = oracle
+
     def register_workflow(self, workflow: Workflow, workflow_id: str) -> None:
         """Register a workflow's functions for access control."""
         self.acl.register_workflow(workflow_id, workflow.function_names())

@@ -18,7 +18,7 @@ Four mechanisms, each independently switchable for the Fig. 16 ablation:
 from __future__ import annotations
 
 import random
-from typing import Optional, Protocol
+from typing import Optional
 
 from repro.common.errors import AllocationError
 from repro.common.units import MS
@@ -31,6 +31,7 @@ from repro.dataplane.base import (
     IPC_MAP_LATENCY,
     SHM_ACCESS_LATENCY,
     DataPlane,
+    QueueOracle,
 )
 from repro.functions.instance import FnContext
 from repro.memory.elastic import ElasticPoolManager
@@ -59,12 +60,7 @@ MIN_SLACK = 1 * MS
 RESTORE_QUEUE_WINDOW = 4
 
 
-class QueueOracle(Protocol):
-    """Platform-provided view of the pending request queue (§4.4.2)."""
-
-    def position_of(self, object_id: str) -> Optional[int]:
-        """Queue index of the earliest pending consumer, or None."""
-        ...
+__all__ = ["GRouterPlane", "QueueOracle"]
 
 
 class GRouterPlane(DataPlane):
@@ -97,7 +93,6 @@ class GRouterPlane(DataPlane):
         self.elastic_storage = elastic_storage
         self.proactive_restore = proactive_restore
         self.eviction = make_policy(eviction_policy)
-        self.queue_oracle: Optional[QueueOracle] = None
         self._rng = random.Random(seed)
         self._evicted_from: dict[str, str] = {}  # object_id -> gpu id
         self._restoring: set[str] = set()  # in-flight restores

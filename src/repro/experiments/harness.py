@@ -163,17 +163,21 @@ def breakdown_request(result: RequestResult, workflow: Workflow) -> PassingBreak
                 out.cfn_cfn += record.get_time
         succs = workflow.successors(name)
         succ_gpu = any(workflow.stages[s].spec.is_gpu for s in succs)
+        # Exit stages account their egress drain to host separately
+        # (record.egress_time); it lands in the same bucket the seed
+        # engine put it in when it was folded into put_time.
         if stage.spec.is_gpu:
-            # Exit-stage put_time includes the egress drain to host.
             if succs and succ_gpu:
                 out.gfn_gfn += record.put_time
+                out.gfn_host += record.egress_time
             else:
-                out.gfn_host += record.put_time
+                out.gfn_host += record.put_time + record.egress_time
         else:
             if succs and succ_gpu:
                 out.gfn_host += record.put_time
+                out.cfn_cfn += record.egress_time
             else:
-                out.cfn_cfn += record.put_time
+                out.cfn_cfn += record.put_time + record.egress_time
         out.compute += record.compute_time + record.cold_start
     return out
 
@@ -209,17 +213,37 @@ def run_workload_on_plane(
     seed: int = 0,
     plane_kwargs: Optional[dict] = None,
     placement: str = "mapa",
+    replicas: int = 1,
+    admission=None,
+    dispatch: str = "round-robin",
+    autoscaler=None,
+    platform_kwargs: Optional[dict] = None,
 ) -> tuple[Testbed, list[RequestResult], WorkloadSpec]:
-    """Deploy one workload, replay one trace, return the results."""
+    """Deploy one workload, replay one trace, return the results.
+
+    ``admission``/``dispatch``/``autoscaler`` feed the platform's
+    lifecycle pipeline (defaults preserve seed behaviour exactly);
+    ``platform_kwargs`` passes anything else straight through to
+    :class:`~repro.platform.ServerlessPlatform`.
+    """
+    merged_kwargs = {
+        "placement": placement,
+        "admission": admission,
+        "dispatch": dispatch,
+        "autoscaler": autoscaler,
+    }
+    merged_kwargs.update(platform_kwargs or {})
     testbed = build_testbed(
         preset=preset,
         num_nodes=num_nodes,
         plane_name=plane_name,
         plane_kwargs=plane_kwargs,
-        platform_kwargs={"placement": placement},
+        platform_kwargs=merged_kwargs,
     )
     workload = get_workload(workload_name)
-    deployment = testbed.platform.deploy(workload, batch=batch, seed=seed)
+    deployment = testbed.platform.deploy(
+        workload, batch=batch, seed=seed, replicas=replicas
+    )
     trace = make_trace(pattern, rate=rate, duration=duration, seed=seed)
     results = testbed.platform.run_trace(deployment, trace)
     return testbed, results, workload

@@ -65,6 +65,7 @@ class FunctionInstance:
         self._cpu_resource = cpu_resource
         self.speed_factor = speed_factor
         self.executions: list[ExecutionRecord] = []
+        self.outstanding = 0  # invocations dispatched here, not yet done
 
     @property
     def device_id(self) -> str:
@@ -79,6 +80,14 @@ class FunctionInstance:
 
     def execution_latency(self, batch: int, input_bytes: float) -> float:
         return self.spec.execution_latency(batch, input_bytes, self.speed_factor)
+
+    def begin_work(self) -> None:
+        """A stage invocation was dispatched to this replica."""
+        self.outstanding += 1
+
+    def end_work(self) -> None:
+        """The invocation completed (or failed); release its claim."""
+        self.outstanding = max(0, self.outstanding - 1)
 
     def execute(
         self, batch: int = 1, input_bytes: float = 0.0, priority: float = 0.0

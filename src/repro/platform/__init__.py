@@ -1,17 +1,67 @@
-"""Serverless platform: deployment, workflow engine, trace replay."""
+"""Serverless platform: a pipeline of composable lifecycle stages.
 
+``platform`` keeps the engine (deployment, workflow execution, trace
+replay); the request path is assembled from sibling modules —
+``admission`` (load shedding), ``queueing`` (pending-request index +
+per-stage queues), ``lifecycle`` (request state machine + results),
+``dispatch`` (replica selection) and ``scaling`` (autoscaling).
+"""
+
+from repro.platform.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    RequestRejected,
+    TokenBucket,
+)
+from repro.platform.dispatch import (
+    DISPATCHERS,
+    DispatchPolicy,
+    LeastOutstandingDispatch,
+    QueueDepthDispatch,
+    RoundRobinDispatch,
+    make_dispatch,
+)
+from repro.platform.lifecycle import (
+    RequestLifecycle,
+    RequestResult,
+    RequestState,
+    StageRecord,
+)
 from repro.platform.platform import (
     Deployment,
-    RequestResult,
     ServerlessPlatform,
-    StageRecord,
     build_platform,
+)
+from repro.platform.queueing import PendingQueue, StageQueue
+from repro.platform.scaling import (
+    AUTOSCALERS,
+    Autoscaler,
+    QueueDepthAutoscaler,
+    make_autoscaler,
 )
 
 __all__ = [
+    "AUTOSCALERS",
+    "AdmissionConfig",
+    "AdmissionController",
+    "Autoscaler",
+    "DISPATCHERS",
     "Deployment",
+    "DispatchPolicy",
+    "LeastOutstandingDispatch",
+    "PendingQueue",
+    "QueueDepthAutoscaler",
+    "QueueDepthDispatch",
+    "RequestLifecycle",
+    "RequestRejected",
     "RequestResult",
+    "RequestState",
+    "RoundRobinDispatch",
     "ServerlessPlatform",
+    "StageQueue",
     "StageRecord",
+    "TokenBucket",
     "build_platform",
+    "make_autoscaler",
+    "make_dispatch",
 ]

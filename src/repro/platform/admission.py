@@ -1,0 +1,117 @@
+"""Admission control: concurrency caps, token buckets, load shedding.
+
+Sits at the very front of the request lifecycle (ARRIVED -> ADMITTED or
+REJECTED).  The default configuration is *unlimited*: every request is
+admitted with one dict-free comparison, so platforms that never touch
+the knobs behave bit-identically to a platform without admission
+control.
+
+Two independent limits can be set:
+
+- ``max_concurrent`` caps the platform-wide pending-queue depth; a
+  request arriving while the queue is at the cap is shed immediately.
+- ``rate``/``burst`` run one token bucket per deployment: buckets
+  refill continuously at ``rate`` tokens/sec up to ``burst``, and a
+  request that finds its deployment's bucket empty is shed.
+
+Shedding produces a typed :class:`RequestRejected` outcome (the value
+of the submitted process) and a
+:class:`~repro.telemetry.events.RequestRejected` bus event, so both
+callers and telemetry consumers can tell rejection from completion
+without sniffing attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import SchedulingError
+
+REJECT_CONCURRENCY = "concurrency"
+REJECT_RATE = "rate"
+
+
+@dataclass(frozen=True)
+class RequestRejected:
+    """Typed outcome of a request shed by admission control."""
+
+    request_id: str
+    workflow: str
+    arrived_at: float
+    reason: str  # REJECT_CONCURRENCY | REJECT_RATE
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs for :class:`AdmissionController`; defaults admit all."""
+
+    max_concurrent: Optional[int] = None  # platform-wide queue-depth cap
+    rate: Optional[float] = None  # per-deployment tokens/sec
+    burst: float = 1.0  # per-deployment bucket capacity
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise SchedulingError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}"
+            )
+        if self.rate is not None and self.rate <= 0:
+            raise SchedulingError(f"rate must be positive, got {self.rate}")
+        if self.burst < 1.0:
+            raise SchedulingError(f"burst must be >= 1, got {self.burst}")
+
+    @property
+    def unlimited(self) -> bool:
+        return self.max_concurrent is None and self.rate is None
+
+
+class TokenBucket:
+    """Continuously refilling token bucket (starts full)."""
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self._last_refill = now
+
+    def try_take(self, now: float) -> bool:
+        self.tokens = min(
+            self.burst, self.tokens + self.rate * (now - self._last_refill)
+        )
+        self._last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Decides, per arrival, whether a request enters the pipeline."""
+
+    def __init__(self, config: Optional[AdmissionConfig] = None) -> None:
+        self.config = config if config is not None else AdmissionConfig()
+        self._buckets: dict[str, TokenBucket] = {}
+        self.admitted = 0
+        self.rejected = 0
+
+    def check(
+        self, workflow_id: str, now: float, queue_depth: int
+    ) -> Optional[str]:
+        """Return ``None`` to admit, or the rejection reason string."""
+        config = self.config
+        if (
+            config.max_concurrent is not None
+            and queue_depth >= config.max_concurrent
+        ):
+            self.rejected += 1
+            return REJECT_CONCURRENCY
+        if config.rate is not None:
+            bucket = self._buckets.get(workflow_id)
+            if bucket is None:
+                bucket = TokenBucket(config.rate, config.burst, now)
+                self._buckets[workflow_id] = bucket
+            if not bucket.try_take(now):
+                self.rejected += 1
+                return REJECT_RATE
+        self.admitted += 1
+        return None

@@ -1,0 +1,107 @@
+"""Replica dispatch policies: which warm instance serves a stage.
+
+Extracted from ``Deployment`` so placement (:mod:`repro.scheduler`)
+and the engine consume one interface, and policies can be swapped
+without touching execution:
+
+- ``round-robin`` reproduces the seed behaviour exactly: one dispatch
+  sequence number per request, every stage of that request served by
+  ``replicas[seq % len(replicas)]``.
+- ``least-outstanding`` picks the replica with the fewest requests
+  currently dispatched to it (waiting or executing), using the
+  outstanding-work counter instances report; ties break toward the
+  earliest replica so the choice is deterministic.
+- ``queue-depth`` picks the replica whose *device* has the shallowest
+  run queue (held + waiting slots on its GPU/CPU resource) — distinct
+  from least-outstanding when several stages share one device.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional, Sequence
+
+from repro.common.errors import SchedulingError
+from repro.functions.instance import FunctionInstance
+
+DeviceLoadFn = Callable[[FunctionInstance], float]
+
+
+class DispatchPolicy(abc.ABC):
+    """Strategy interface for choosing among a stage's replicas."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        replicas: Sequence[FunctionInstance],
+        dispatch: int,
+        device_load: Optional[DeviceLoadFn] = None,
+    ) -> FunctionInstance:
+        """Pick the replica serving one stage invocation.
+
+        *dispatch* is the request's per-deployment sequence number;
+        *device_load* (engine-provided) maps an instance to its
+        device's current run-queue depth.
+        """
+
+
+class RoundRobinDispatch(DispatchPolicy):
+    """Spread requests over replicas by arrival sequence (seed default)."""
+
+    name = "round-robin"
+
+    def select(self, replicas, dispatch, device_load=None):
+        return replicas[dispatch % len(replicas)]
+
+
+class LeastOutstandingDispatch(DispatchPolicy):
+    """Pick the replica with the fewest outstanding invocations."""
+
+    name = "least-outstanding"
+
+    def select(self, replicas, dispatch, device_load=None):
+        best = replicas[0]
+        for replica in replicas[1:]:
+            if replica.outstanding < best.outstanding:
+                best = replica
+        return best
+
+
+class QueueDepthDispatch(DispatchPolicy):
+    """Pick the replica on the device with the shallowest run queue."""
+
+    name = "queue-depth"
+
+    def select(self, replicas, dispatch, device_load=None):
+        if device_load is None:
+            raise SchedulingError(
+                "queue-depth dispatch needs a device_load callback"
+            )
+        best = replicas[0]
+        best_load = device_load(best)
+        for replica in replicas[1:]:
+            load = device_load(replica)
+            if load < best_load:
+                best = replica
+                best_load = load
+        return best
+
+
+DISPATCHERS = {
+    RoundRobinDispatch.name: RoundRobinDispatch,
+    LeastOutstandingDispatch.name: LeastOutstandingDispatch,
+    QueueDepthDispatch.name: QueueDepthDispatch,
+}
+
+
+def make_dispatch(name: str, **kwargs) -> DispatchPolicy:
+    """Instantiate a dispatch policy by name."""
+    try:
+        return DISPATCHERS[name](**kwargs)
+    except KeyError:
+        raise SchedulingError(
+            f"unknown dispatch policy {name!r}; "
+            f"choose from {sorted(DISPATCHERS)}"
+        ) from None

@@ -1,26 +1,46 @@
 """The serverless inference platform (INFless-style substrate, §5).
 
 Ties together topology, data plane, placement, pre-warming and the
-workflow engine.  A :class:`Deployment` pins one workflow's stages onto
-devices; :meth:`ServerlessPlatform.submit` drives one request through
-the DAG:
+workflow engine.  Since the lifecycle refactor the request path is an
+explicit pipeline of composable pieces, each in its own module:
 
-1. the request input lands in host memory (I/O ingress);
-2. each stage waits for its (taken) in-edges, ``Get``s every input to
-   its own device, executes on its time-shared GPU, and ``Put``s its
-   output once for downstream consumers;
-3. exit-stage outputs are drained to host memory (egress) — the
-   gFn-host leg of Fig. 3's breakdown.
+- :mod:`repro.platform.admission` — concurrency caps and token-bucket
+  load shedding in front of the queue (default: unlimited);
+- :mod:`repro.platform.queueing` — the indexed pending-request
+  structure backing GROUTER's eviction oracle, plus per-stage
+  FIFO/priority queues with optional backpressure;
+- :mod:`repro.platform.lifecycle` — the ARRIVED → ADMITTED → stage
+  spans → EGRESS → FINISHED/REJECTED state machine that owns
+  :class:`RequestResult` construction and telemetry;
+- :mod:`repro.platform.dispatch` — replica selection policies
+  (round-robin, least-outstanding, queue-depth-aware);
+- :mod:`repro.platform.scaling` — pluggable autoscaling of per-stage
+  replica sets against queue depth.
 
-The platform also maintains the pending-request queue that backs
-GROUTER's queue-aware eviction oracle (§4.4.2).
+This module keeps the engine: :class:`Deployment` pins one workflow's
+stages onto devices; :meth:`ServerlessPlatform.submit` drives one
+request through the DAG:
+
+1. admission control accepts (or sheds) the arrival;
+2. the request input lands in host memory (I/O ingress);
+3. each stage waits for its (taken) in-edges, enters its stage queue,
+   ``Get``s every input to its own device, executes on its time-shared
+   GPU, and ``Put``s its output once for downstream consumers;
+4. exit-stage outputs are drained to host memory (egress) — the
+   gFn-host leg of Fig. 3's breakdown, accounted separately in
+   ``RequestResult.egress_time``.
+
+With the default policies (unlimited admission, FIFO stage queues,
+round-robin dispatch, no autoscaler) the engine's event sequence is
+bit-identical to the pre-refactor monolith; ``tests/platform/
+test_differential.py`` pins that against golden seed outputs.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.common.errors import SchedulingError
 from repro.common.units import MS
@@ -33,6 +53,19 @@ from repro.functions.spec import (
     FunctionSpec,
     OutputModel,
 )
+from repro.platform.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    RequestRejected,
+)
+from repro.platform.dispatch import DispatchPolicy, make_dispatch
+from repro.platform.lifecycle import (
+    RequestLifecycle,
+    RequestResult,
+    StageRecord,
+)
+from repro.platform.queueing import PendingQueue, StageQueue
+from repro.platform.scaling import Autoscaler, make_autoscaler
 from repro.scheduler.placement import (
     PlacementPolicy,
     PlacementResult,
@@ -44,12 +77,20 @@ from repro.sim.core import Environment, Process
 from repro.sim.resources import Resource
 from repro.storage.objects import DataRef
 from repro.telemetry.bus import EventBus
-from repro.telemetry.events import RequestArrived, RequestFinished, StageSpan
+from repro.telemetry.events import ReplicaScaled
 from repro.topology.cluster import ClusterTopology
 from repro.topology.devices import Gpu
 from repro.topology.node import PCIE3_BW
 from repro.traces.azure import Trace
 from repro.workflow.dag import Stage, Workflow, WorkloadSpec
+
+__all__ = [
+    "Deployment",
+    "RequestResult",
+    "ServerlessPlatform",
+    "StageRecord",
+    "build_platform",
+]
 
 INGRESS = "__ingress__"
 EGRESS = "__egress__"
@@ -66,60 +107,14 @@ def _io_spec(name: str) -> FunctionSpec:
 
 
 @dataclass
-class StageRecord:
-    """Per-stage timing of one request."""
-
-    stage: str
-    get_time: float = 0.0
-    compute_time: float = 0.0
-    put_time: float = 0.0
-    queued_time: float = 0.0
-    cold_start: float = 0.0
-    input_bytes: float = 0.0
-    output_bytes: float = 0.0
-
-
-@dataclass
-class RequestResult:
-    """Outcome of one workflow request."""
-
-    request_id: str
-    workflow: str
-    arrived_at: float
-    finished_at: float
-    stage_records: dict[str, StageRecord] = field(default_factory=dict)
-    skipped_stages: list[str] = field(default_factory=list)
-    slo: Optional[float] = None
-
-    @property
-    def latency(self) -> float:
-        return self.finished_at - self.arrived_at
-
-    @property
-    def compute_time(self) -> float:
-        return sum(r.compute_time for r in self.stage_records.values())
-
-    @property
-    def data_time(self) -> float:
-        return sum(
-            r.get_time + r.put_time for r in self.stage_records.values()
-        )
-
-    @property
-    def slo_met(self) -> Optional[bool]:
-        if self.slo is None:
-            return None
-        return self.latency <= self.slo
-
-
-@dataclass
 class Deployment:
     """One workflow pinned onto the cluster.
 
     ``replica_sets`` maps each stage to one or more warm instances
-    (autoscaled replicas on distinct GPUs); requests are spread over
-    them round-robin.  ``instances`` keeps the first replica of each
-    stage for convenience.
+    (autoscaled replicas on distinct GPUs); the platform's dispatch
+    policy spreads requests over them.  ``stage_queues`` gate entry to
+    each stage's replica set.  ``instances`` keeps the first replica
+    of each stage for convenience.
     """
 
     workflow_id: str
@@ -136,6 +131,7 @@ class Deployment:
     rng: random.Random = field(default_factory=random.Random)
     ingress: FunctionInstance = None
     egress: FunctionInstance = None
+    stage_queues: dict[str, StageQueue] = field(default_factory=dict)
     _dispatch_seq: int = 0
 
     @property
@@ -153,39 +149,9 @@ class Deployment:
         return seq
 
     def instance_for(self, stage_name: str, dispatch: int) -> FunctionInstance:
+        """Round-robin replica lookup (kept for compatibility)."""
         replicas = self.replica_sets[stage_name]
         return replicas[dispatch % len(replicas)]
-
-
-class _PendingQueue:
-    """Arrival-ordered pending requests; backs the eviction oracle."""
-
-    def __init__(self) -> None:
-        self._pending: list[str] = []
-        self._object_request: dict[str, str] = {}
-
-    def enqueue(self, request_id: str) -> None:
-        self._pending.append(request_id)
-
-    def finish(self, request_id: str) -> None:
-        if request_id in self._pending:
-            self._pending.remove(request_id)
-
-    def bind_object(self, object_id: str, request_id: str) -> None:
-        self._object_request[object_id] = request_id
-
-    def position_of(self, object_id: str) -> Optional[int]:
-        request_id = self._object_request.get(object_id)
-        if request_id is None:
-            return None
-        try:
-            return self._pending.index(request_id)
-        except ValueError:
-            return None
-
-    @property
-    def depth(self) -> int:
-        return len(self._pending)
 
 
 class ServerlessPlatform:
@@ -203,6 +169,11 @@ class ServerlessPlatform:
         gpu_sharing: str = "temporal",
         spatial_slots: int = 2,
         spatial_slowdown: float = 1.3,
+        admission: Union[AdmissionConfig, AdmissionController, None] = None,
+        dispatch: str | DispatchPolicy = "round-robin",
+        autoscaler: Union[str, Autoscaler, None] = None,
+        queue_policy: str = "fifo",
+        stage_queue_limit: Optional[int] = None,
     ) -> None:
         self.env = env
         self.cluster = cluster
@@ -219,6 +190,10 @@ class ServerlessPlatform:
             )
         if spatial_slots < 1 or spatial_slowdown < 1.0:
             raise SchedulingError("invalid spatial sharing parameters")
+        if queue_policy not in ("fifo", "priority"):
+            raise SchedulingError(
+                f"unknown stage queue policy {queue_policy!r}"
+            )
         self.gpu_sharing = gpu_sharing
         self.spatial_slots = spatial_slots
         self.spatial_slowdown = spatial_slowdown
@@ -234,11 +209,25 @@ class ServerlessPlatform:
         self.speed_factor = SPEED_FACTORS.get(
             cluster.nodes[0].spec.name, 1.0
         )
-        self.queue = _PendingQueue()
-        if hasattr(plane, "queue_oracle"):
-            plane.queue_oracle = self.queue
+        # -- lifecycle pipeline pieces ------------------------------------
+        if admission is None:
+            admission = AdmissionController()
+        elif isinstance(admission, AdmissionConfig):
+            admission = AdmissionController(admission)
+        self.admission = admission
+        if isinstance(dispatch, str):
+            dispatch = make_dispatch(dispatch)
+        self.dispatch = dispatch
+        if isinstance(autoscaler, str):
+            autoscaler = make_autoscaler(autoscaler)
+        self.autoscaler = autoscaler
+        self.queue_policy = queue_policy
+        self.stage_queue_limit = stage_queue_limit
+        self.queue = PendingQueue()
+        plane.attach_queue_oracle(self.queue)
         self._instance_load: dict[str, int] = {}
         self.results: list[RequestResult] = []
+        self.rejections: list[RequestRejected] = []
         self._tracer = None
 
     # -- tracing -------------------------------------------------------------
@@ -247,7 +236,7 @@ class ServerlessPlatform:
         """The attached :class:`~repro.tracing.SpanTracer`, or ``None``.
 
         Assigning a tracer subscribes it to the environment's telemetry
-        bus (created on demand): the platform publishes
+        bus (created on demand): the lifecycle publishes
         :class:`StageSpan` events and the tracer consumes them, so any
         other bus subscriber sees the same spans.  ``None`` (default)
         costs nothing when no bus is attached.
@@ -266,26 +255,6 @@ class ServerlessPlatform:
                 self.env.telemetry = bus
             tracer.attach(bus)
 
-    def _publish_span(
-        self,
-        request_id: str,
-        stage: str,
-        kind: str,
-        start: float,
-        device_id: str = "",
-    ) -> None:
-        bus = self.env.telemetry
-        if bus is not None:
-            bus.publish(StageSpan(
-                t=self.env.now,
-                request_id=request_id,
-                stage=stage,
-                kind=kind,
-                start=start,
-                end=self.env.now,
-                device_id=device_id,
-            ))
-
     # -- deployment -----------------------------------------------------------
     def deploy(
         self,
@@ -301,8 +270,10 @@ class ServerlessPlatform:
         """Place and instantiate every stage of *workload*.
 
         ``replicas > 1`` provisions that many warm instances per stage
-        (each placed independently); requests fan over them round-robin
-        — the simple horizontal autoscaling of serverless platforms.
+        (each placed independently); the dispatch policy fans requests
+        over them — the simple horizontal autoscaling of serverless
+        platforms, which the pluggable autoscaler can later grow or
+        shrink per stage.
 
         ``slo_multiplier`` overrides the platform default for this
         deployment: latency-critical services run tight multipliers,
@@ -352,6 +323,15 @@ class ServerlessPlatform:
             start = max((finish[p] for p in preds), default=0.0)
             finish[stage.name] = start + stage_slos[stage.name]
         e2e_slo_estimate = max(finish.values())
+        stage_queues = {
+            stage.name: StageQueue(
+                self.env,
+                stage.name,
+                policy=self.queue_policy,
+                maxsize=self.stage_queue_limit,
+            )
+            for stage in workflow.topological_order()
+        }
         deployment = Deployment(
             workflow_id=workflow_id,
             workload=workload,
@@ -365,6 +345,7 @@ class ServerlessPlatform:
             rng=random.Random(seed),
             ingress=ingress,
             egress=egress,
+            stage_queues=stage_queues,
         )
         if self.prewarm_enabled:
             for replicas_list in replica_sets.values():
@@ -410,6 +391,86 @@ class ServerlessPlatform:
                 alias=stage.name,
             )
         return instance
+
+    # -- replica scaling -------------------------------------------------------
+    def scale_stage(
+        self, deployment: Deployment, stage_name: str, delta: int
+    ) -> int:
+        """Grow (+delta) or shrink (-delta) one stage's replica set.
+
+        Growth places each new replica with the platform's placement
+        policy (weights reserved, pre-warmed when enabled); shrinking
+        decommissions the newest replicas, releasing their weight
+        reservations — in-flight work on a removed replica completes,
+        it just stops receiving dispatches.  The set never drops below
+        one replica.  Returns the new replica count.
+        """
+        replicas = deployment.replica_sets[stage_name]
+        if delta == 0:
+            return len(replicas)
+        workflow = deployment.workflow
+        stage = workflow.stages[stage_name]
+        if delta > 0:
+            for _ in range(delta):
+                placement = self.placement_policy.place(
+                    workflow, self.cluster, load=self._instance_load
+                )
+                publish_placement(
+                    self.env, self.placement_policy, workflow, placement
+                )
+                instance = self._instantiate(stage, placement)
+                if self.prewarm_enabled:
+                    self.prewarmer.prewarm(instance.instance_id, self.env.now)
+                replicas.append(instance)
+        else:
+            for _ in range(-delta):
+                if len(replicas) <= 1:
+                    break
+                self._decommission(replicas.pop(), stage)
+        bus = self.env.telemetry
+        if bus is not None:
+            queue = deployment.stage_queues.get(stage_name)
+            bus.publish(ReplicaScaled(
+                t=self.env.now,
+                workflow=deployment.workflow_id,
+                stage=stage_name,
+                delta=delta,
+                replicas=len(replicas),
+                queue_depth=queue.depth if queue is not None else 0,
+            ))
+        return len(replicas)
+
+    def _decommission(self, instance: FunctionInstance, stage: Stage) -> None:
+        self.prewarmer.forget(instance.instance_id)
+        if instance.is_gpu:
+            device_id = instance.device_id
+            self.plane.device_memory[device_id].release(
+                f"weights:{instance.instance_id}",
+                stage.spec.memory_footprint,
+            )
+            self._instance_load[device_id] = max(
+                0, self._instance_load.get(device_id, 0) - 1
+            )
+
+    def _autoscale(self, deployment: Deployment, stage_name: str) -> None:
+        queue = deployment.stage_queues[stage_name]
+        replicas = deployment.replica_sets[stage_name]
+        delta = self.autoscaler.desired_delta(
+            f"{deployment.workflow_id}/{stage_name}",
+            len(replicas),
+            queue.depth,
+            self.env.now,
+        )
+        if delta:
+            self.scale_stage(deployment, stage_name, delta)
+
+    def _device_load(self, instance: FunctionInstance) -> float:
+        """Run-queue depth of the device an instance executes on."""
+        if instance.is_gpu:
+            resource = self.gpu_resources[instance.device_id]
+        else:
+            resource = self.cpu_resources[instance.node.node_id]
+        return resource.count + resource.queue_len
 
     # -- static size/SLO propagation -------------------------------------------
     def _propagate_sizes(
@@ -468,27 +529,34 @@ class ServerlessPlatform:
 
     # -- request execution ---------------------------------------------------
     def submit(self, deployment: Deployment) -> Process:
-        """Run one request through the workflow; yields a RequestResult."""
+        """Run one request through the workflow.
+
+        The process value is a :class:`RequestResult` for requests that
+        completed, or a typed
+        :class:`~repro.platform.admission.RequestRejected` outcome for
+        requests shed by admission control.
+        """
         request_id = self.plane.ids.next("req")
         return self.env.process(self._run_request(deployment, request_id))
 
     def _run_request(self, deployment: Deployment, request_id: str):
-        arrived = self.env.now
+        workflow = deployment.workflow
+        lifecycle = RequestLifecycle(
+            self.env, request_id, workflow.name, slo=deployment.slo
+        )
+
+        # Admission: shed before the request consumes any resources.
+        reject_reason = self.admission.check(
+            deployment.workflow_id, self.env.now, self.queue.depth
+        )
+        if reject_reason is not None:
+            outcome = lifecycle.reject(reject_reason)
+            self.rejections.append(outcome)
+            return outcome
         dispatch = deployment.next_dispatch()
         self.queue.enqueue(request_id)
-        workflow = deployment.workflow
-        bus = self.env.telemetry
-        if bus is not None:
-            bus.publish(RequestArrived(
-                t=arrived, request_id=request_id, workflow=workflow.name
-            ))
-        result = RequestResult(
-            request_id=request_id,
-            workflow=workflow.name,
-            arrived_at=arrived,
-            finished_at=arrived,
-            slo=deployment.slo,
-        )
+        lifecycle.admit(self.queue.depth)
+        result = lifecycle.result
 
         # Ingress: the request payload lands in host memory via I/O.
         entries = workflow.entry_stages
@@ -506,8 +574,8 @@ class ServerlessPlatform:
         for stage in workflow.topological_order():
             self.env.process(
                 self._run_stage(
-                    deployment, request_id, stage, ingress_ref,
-                    done_events, result, dispatch,
+                    deployment, lifecycle, stage, ingress_ref,
+                    done_events, dispatch,
                 )
             )
         exit_events = [done_events[s.name] for s in workflow.exit_stages]
@@ -516,7 +584,8 @@ class ServerlessPlatform:
         # Egress: drain every exit stage's output to host memory.  The
         # drain shares the request's end-to-end deadline so SLO-gated
         # scheduling does not starve it behind foreground transfers.
-        egress_deadline = arrived + (
+        lifecycle.begin_egress()
+        egress_deadline = result.arrived_at + (
             deployment.slo
             if deployment.slo is not None
             else deployment.e2e_slo_estimate
@@ -532,32 +601,23 @@ class ServerlessPlatform:
             started = self.env.now
             yield self.plane.get(egress_ctx, payload)
             record = result.stage_records[exit_stage.name]
-            record.put_time += self.env.now - started
-        result.finished_at = self.env.now
+            record.egress_time += self.env.now - started
         self.queue.finish(request_id)
+        result = lifecycle.finish()
         self.results.append(result)
-        bus = self.env.telemetry
-        if bus is not None:
-            bus.publish(RequestFinished(
-                t=self.env.now,
-                request_id=request_id,
-                workflow=workflow.name,
-                latency=result.latency,
-                slo_met=result.slo_met,
-            ))
         return result
 
     def _run_stage(
         self,
         deployment: Deployment,
-        request_id: str,
+        lifecycle: RequestLifecycle,
         stage: Stage,
         ingress_ref: DataRef,
         done_events: dict,
-        result: RequestResult,
         dispatch: int = 0,
     ):
         workflow = deployment.workflow
+        request_id = lifecycle.request_id
         preds = workflow.predecessors(stage.name)
         inputs: list[DataRef] = []
         if not preds:
@@ -575,13 +635,47 @@ class ServerlessPlatform:
                     # Branch not taken: release our claim on the data.
                     self.plane.release_claim(upstream)
             if not inputs:
-                result.skipped_stages.append(stage.name)
+                lifecycle.skip_stage(stage.name)
                 done_events[stage.name].succeed(None)
                 return
 
-        instance = deployment.instance_for(stage.name, dispatch)
-        record = StageRecord(stage=stage.name)
-        result.stage_records[stage.name] = record
+        # Enter the stage queue (backpressure when bounded), consult
+        # the autoscaler with the observed depth, then dispatch.
+        stage_queue = deployment.stage_queues[stage.name]
+        gate = stage_queue.enter()
+        if gate is not None:
+            yield gate
+        try:
+            if self.autoscaler is not None:
+                self._autoscale(deployment, stage.name)
+            instance = self.dispatch.select(
+                deployment.replica_sets[stage.name], dispatch,
+                self._device_load,
+            )
+            instance.begin_work()
+            try:
+                ref = yield from self._execute_stage(
+                    deployment, lifecycle, stage, instance, inputs
+                )
+            finally:
+                instance.end_work()
+        finally:
+            stage_queue.leave()
+        self.queue.bind_object(ref.object_id, request_id)
+        done_events[stage.name].succeed(ref)
+
+    def _execute_stage(
+        self,
+        deployment: Deployment,
+        lifecycle: RequestLifecycle,
+        stage: Stage,
+        instance: FunctionInstance,
+        inputs: list[DataRef],
+    ):
+        """Generator: one stage span on a chosen replica; returns its put."""
+        workflow = deployment.workflow
+        request_id = lifecycle.request_id
+        record = lifecycle.begin_stage(stage.name)
         stage_slo = deployment.stage_slos[stage.name]
         exec_estimate = instance.execution_latency(
             deployment.batch, deployment.stage_inputs[stage.name]
@@ -599,9 +693,8 @@ class ServerlessPlatform:
         yield slot
         record.queued_time = self.env.now - ready_at
         if record.queued_time > 0:
-            self._publish_span(
-                request_id, stage.name, "queue", ready_at,
-                instance.device_id,
+            lifecycle.publish_span(
+                stage.name, "queue", ready_at, instance.device_id
             )
 
         # The transfer deadline reflects the slack the invocation has
@@ -621,8 +714,8 @@ class ServerlessPlatform:
             yield self.env.all_of(gets)
             record.get_time = self.env.now - t_get
             record.input_bytes = sum(ref.size for ref in inputs)
-            self._publish_span(
-                request_id, stage.name, "get", t_get, instance.device_id
+            lifecycle.publish_span(
+                stage.name, "get", t_get, instance.device_id
             )
 
             # Cold start penalty (container + model load) if not warm.
@@ -637,9 +730,8 @@ class ServerlessPlatform:
                 record.cold_start = penalty
                 t_cold = self.env.now
                 yield self.env.timeout(penalty)
-                self._publish_span(
-                    request_id, stage.name, "cold-start", t_cold,
-                    instance.device_id,
+                lifecycle.publish_span(
+                    stage.name, "cold-start", t_cold, instance.device_id
                 )
 
             t_exec = self.env.now
@@ -647,8 +739,8 @@ class ServerlessPlatform:
                 deployment.batch, record.input_bytes
             )
             record.compute_time = execution.duration
-            self._publish_span(
-                request_id, stage.name, "exec", t_exec, instance.device_id
+            lifecycle.publish_span(
+                stage.name, "exec", t_exec, instance.device_id
             )
 
             # Publish the output for downstream consumers.
@@ -663,13 +755,12 @@ class ServerlessPlatform:
                 ctx, output_size, expected_consumers=consumers
             )
             record.put_time = self.env.now - t_put
-            self._publish_span(
-                request_id, stage.name, "put", t_put, instance.device_id
+            lifecycle.publish_span(
+                stage.name, "put", t_put, instance.device_id
             )
         finally:
             resource.release(slot)
-        self.queue.bind_object(ref.object_id, request_id)
-        done_events[stage.name].succeed(ref)
+        return ref
 
     # -- trace replay ------------------------------------------------------------
     def run_trace(
@@ -678,7 +769,11 @@ class ServerlessPlatform:
         trace: Trace,
         drain: float = 60.0,
     ) -> list[RequestResult]:
-        """Replay *trace* against *deployment* and return its results."""
+        """Replay *trace* against *deployment* and return its results.
+
+        Only completed requests appear in the returned list; shed
+        requests accumulate in :attr:`rejections`.
+        """
         procs: list[Process] = []
 
         def driver():
@@ -690,7 +785,10 @@ class ServerlessPlatform:
         self.env.process(driver())
         horizon = self.env.now + trace.config.duration + drain
         self.env.run(until=horizon)
-        return [p.value for p in procs if p.triggered and p.ok]
+        return [
+            p.value for p in procs
+            if p.triggered and p.ok and isinstance(p.value, RequestResult)
+        ]
 
     def run_traces(
         self,
@@ -716,7 +814,11 @@ class ServerlessPlatform:
         ) + drain
         self.env.run(until=horizon)
         return {
-            wf: [p.value for p in procs if p.triggered and p.ok]
+            wf: [
+                p.value for p in procs
+                if p.triggered and p.ok
+                and isinstance(p.value, RequestResult)
+            ]
             for wf, procs in all_procs.items()
         }
 

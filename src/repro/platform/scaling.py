@@ -1,0 +1,105 @@
+"""Pluggable autoscaling: grow/shrink per-stage replica sets.
+
+Generalises the static ``deploy(replicas=N)`` provisioning: an
+:class:`Autoscaler` is consulted on the hot path (each time a request
+enters a stage queue) with that stage's current depth and replica
+count, and answers with a replica delta.  The engine applies the delta
+through ``ServerlessPlatform.scale_stage`` — placement, weight
+reservation, pre-warming and telemetry all happen there, so policies
+stay pure decision functions.
+
+The platform default is *no autoscaler* (``None``), which costs one
+``is None`` check per stage entry and keeps replica sets exactly as
+deployed — the behaviour-preserving baseline.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.common.errors import SchedulingError
+
+
+class Autoscaler(abc.ABC):
+    """Decision interface: how many replicas to add or remove."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def desired_delta(
+        self, key: str, replicas: int, queue_depth: int, now: float
+    ) -> int:
+        """Replica delta for one stage observation.
+
+        *key* identifies the (deployment, stage) pair; *replicas* is
+        the current set size; *queue_depth* counts requests inside the
+        stage (waiting + executing).  Positive grows, negative
+        shrinks, 0 holds.
+        """
+
+
+class QueueDepthAutoscaler(Autoscaler):
+    """Scale against per-replica queue depth, with hysteresis.
+
+    Grows one replica when the stage's depth exceeds ``target_depth``
+    per replica, shrinks one when the remaining replicas could absorb
+    the depth at half target (so scale-up and scale-down thresholds
+    never chase each other), and enforces a per-stage cooldown between
+    actions to ride out bursts.
+    """
+
+    name = "queue-depth"
+
+    def __init__(
+        self,
+        target_depth: float = 4.0,
+        min_replicas: int = 1,
+        max_replicas: int = 8,
+        cooldown: float = 1.0,
+    ) -> None:
+        if target_depth <= 0:
+            raise SchedulingError(
+                f"target_depth must be positive, got {target_depth}"
+            )
+        if min_replicas < 1 or max_replicas < min_replicas:
+            raise SchedulingError(
+                f"invalid replica bounds [{min_replicas}, {max_replicas}]"
+            )
+        self.target_depth = target_depth
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.cooldown = cooldown
+        self._last_action: dict[str, float] = {}
+
+    def desired_delta(self, key, replicas, queue_depth, now):
+        last = self._last_action.get(key)
+        if last is not None and now - last < self.cooldown:
+            return 0
+        if (
+            replicas < self.max_replicas
+            and queue_depth > self.target_depth * replicas
+        ):
+            self._last_action[key] = now
+            return 1
+        if (
+            replicas > self.min_replicas
+            and queue_depth <= 0.5 * self.target_depth * (replicas - 1)
+        ):
+            self._last_action[key] = now
+            return -1
+        return 0
+
+
+AUTOSCALERS = {
+    QueueDepthAutoscaler.name: QueueDepthAutoscaler,
+}
+
+
+def make_autoscaler(name: str, **kwargs) -> Autoscaler:
+    """Instantiate an autoscaler by name."""
+    try:
+        return AUTOSCALERS[name](**kwargs)
+    except KeyError:
+        raise SchedulingError(
+            f"unknown autoscaler {name!r}; choose from {sorted(AUTOSCALERS)}"
+        ) from None

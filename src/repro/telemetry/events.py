@@ -186,6 +186,35 @@ class RequestArrived(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class RequestAdmitted(TelemetryEvent):
+    """Admission control accepted a request into the pending queue."""
+
+    request_id: str
+    workflow: str
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class RequestRejected(TelemetryEvent):
+    """Admission control shed a request before it entered the queue."""
+
+    request_id: str
+    workflow: str
+    reason: str  # "concurrency" | "rate"
+
+
+@dataclass(frozen=True)
+class ReplicaScaled(TelemetryEvent):
+    """The autoscaler grew or shrank one stage's replica set."""
+
+    workflow: str
+    stage: str
+    delta: int
+    replicas: int
+    queue_depth: int
+
+
+@dataclass(frozen=True)
 class RequestFinished(TelemetryEvent):
     """A request drained its egress output."""
 

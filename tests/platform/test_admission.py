@@ -1,0 +1,135 @@
+"""Tests for admission control: caps, token buckets, typed rejection."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.dataplane import make_plane
+from repro.platform import (
+    AdmissionConfig,
+    AdmissionController,
+    RequestRejected,
+    ServerlessPlatform,
+    TokenBucket,
+)
+from repro.platform.admission import REJECT_CONCURRENCY, REJECT_RATE
+from repro.sim import Environment
+from repro.telemetry import EventBus
+from repro.telemetry.events import (
+    RequestAdmitted,
+    RequestRejected as RequestRejectedEvent,
+)
+from repro.topology import make_cluster
+from repro.traces import make_trace
+from repro.workflow import get_workload
+
+
+def make_platform(**kwargs):
+    env = Environment()
+    cluster = make_cluster("dgx-v100")
+    plane = make_plane("grouter", env, cluster)
+    return ServerlessPlatform(env, cluster, plane, **kwargs)
+
+
+class TestAdmissionConfig:
+    def test_defaults_are_unlimited(self):
+        assert AdmissionConfig().unlimited
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            AdmissionConfig(max_concurrent=0)
+        with pytest.raises(SchedulingError):
+            AdmissionConfig(rate=0.0)
+        with pytest.raises(SchedulingError):
+            AdmissionConfig(rate=1.0, burst=0.5)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_refills(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0, now=0.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)  # empty
+        assert not bucket.try_take(0.5)  # half a token is not enough
+        assert bucket.try_take(1.5)  # refilled past one token
+
+    def test_burst_caps_accumulation(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=0.0)
+        assert bucket.try_take(100.0)
+        assert bucket.try_take(100.0)
+        assert not bucket.try_take(100.0)
+
+
+class TestAdmissionController:
+    def test_unlimited_admits_everything(self):
+        controller = AdmissionController()
+        for i in range(100):
+            assert controller.check("wf", float(i), i) is None
+        assert controller.admitted == 100
+        assert controller.rejected == 0
+
+    def test_concurrency_cap(self):
+        controller = AdmissionController(AdmissionConfig(max_concurrent=3))
+        assert controller.check("wf", 0.0, 2) is None
+        assert controller.check("wf", 0.0, 3) == REJECT_CONCURRENCY
+
+    def test_rate_limit_is_per_workflow(self):
+        controller = AdmissionController(
+            AdmissionConfig(rate=1.0, burst=1.0)
+        )
+        assert controller.check("wf-a", 0.0, 0) is None
+        assert controller.check("wf-a", 0.0, 0) == REJECT_RATE
+        # A different deployment has its own bucket.
+        assert controller.check("wf-b", 0.0, 0) is None
+
+
+class TestPlatformAdmission:
+    def test_default_platform_never_rejects(self):
+        platform = make_platform()
+        deployment = platform.deploy(get_workload("driving"))
+        trace = make_trace("bursty", rate=4.0, duration=8.0, seed=0)
+        results = platform.run_trace(deployment, trace)
+        assert results
+        assert platform.rejections == []
+
+    def test_concurrency_cap_sheds_with_typed_outcome(self):
+        platform = make_platform(
+            admission=AdmissionConfig(max_concurrent=1)
+        )
+        deployment = platform.deploy(get_workload("driving"))
+        # Same-instant burst: the first request is admitted, the rest
+        # find the pending queue at the cap.
+        procs = [platform.submit(deployment) for _ in range(4)]
+        platform.env.run()
+        outcomes = [p.value for p in procs]
+        rejected = [o for o in outcomes if isinstance(o, RequestRejected)]
+        assert len(rejected) == 3
+        assert all(o.reason == REJECT_CONCURRENCY for o in rejected)
+        assert platform.rejections == rejected
+        assert len(platform.results) == 1
+
+    def test_rejections_excluded_from_trace_results(self):
+        platform = make_platform(
+            admission=AdmissionConfig(max_concurrent=1)
+        )
+        deployment = platform.deploy(get_workload("driving"))
+        trace = make_trace("bursty", rate=8.0, duration=6.0, seed=0)
+        results = platform.run_trace(deployment, trace)
+        assert len(results) == len(platform.results)
+        assert len(platform.rejections) > 0
+
+    def test_rejection_publishes_telemetry(self):
+        platform = make_platform(
+            admission=AdmissionConfig(max_concurrent=1)
+        )
+        platform.env.telemetry = bus = EventBus()
+        admitted, rejected = [], []
+        bus.subscribe(RequestAdmitted, admitted.append)
+        bus.subscribe(RequestRejectedEvent, rejected.append)
+        deployment = platform.deploy(get_workload("driving"))
+        for _ in range(3):
+            platform.submit(deployment)
+        platform.env.run()
+        assert len(admitted) == 1
+        assert len(rejected) == 2
+        assert rejected[0].reason == REJECT_CONCURRENCY
+        assert admitted[0].queue_depth == 1

@@ -1,0 +1,124 @@
+"""Differential tests: the lifecycle refactor preserves seed behaviour.
+
+``golden/requests_seed.json`` was captured from the pre-refactor
+monolithic engine (commit b1f01ae) by running the fig14/fig15-shaped
+workloads and hex-encoding every float.  With the default policies
+(unlimited admission, FIFO stage queues, round-robin dispatch, no
+autoscaler) the refactored pipeline must reproduce those outputs
+bit-for-bit: same arrivals, same finish times, same per-request
+compute/data breakdowns, same skipped branches.
+
+Also pins the structural acceptance criteria: the pending-request
+index performs no linear list scans, and spelling out the default
+knobs explicitly changes nothing.
+"""
+
+import inspect
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import build_testbed, run_workload_on_plane
+from repro.platform import queueing
+from repro.traces import Trace, TraceConfig
+from repro.workflow import get_workload
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "requests_seed.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN.open() as fh:
+        return json.load(fh)
+
+
+def full_row(r):
+    return {
+        "arrived_at": r.arrived_at.hex(),
+        "finished_at": r.finished_at.hex(),
+        "latency": r.latency.hex(),
+        "compute_time": r.compute_time.hex(),
+        "data_time": r.data_time.hex(),
+        "stages": sorted(r.stage_records),
+        "skipped": sorted(r.skipped_stages),
+    }
+
+
+class TestGoldenDifferential:
+    @pytest.mark.parametrize("plane", ["grouter", "infless+"])
+    @pytest.mark.parametrize("workflow", ["driving", "traffic"])
+    def test_fig14_bursty_bit_identical(self, golden, plane, workflow):
+        _tb, results, _wl = run_workload_on_plane(
+            plane, workflow, pattern="bursty", rate=4.0, duration=8.0
+        )
+        assert [full_row(r) for r in results] == (
+            golden[f"fig14/{plane}/{workflow}"]
+        )
+
+    @pytest.mark.parametrize("plane", ["grouter", "infless+"])
+    def test_fig14_dense_bursty_bit_identical(self, golden, plane):
+        _tb, results, _wl = run_workload_on_plane(
+            plane, "driving", pattern="bursty", rate=8.0, duration=12.0
+        )
+        rows = [full_row(r) for r in results]
+        expected = golden[f"fig14dense/{plane}/driving"]
+        assert len(rows) == len(expected)
+        assert rows == expected
+
+    @pytest.mark.parametrize("plane", ["grouter", "infless+"])
+    def test_fig15_uniform_bit_identical(self, golden, plane):
+        testbed = build_testbed(plane_name=plane)
+        deployment = testbed.platform.deploy(get_workload("driving"))
+        arrivals = np.linspace(0.0, 6.0, int(6 * 6.0), endpoint=False)
+        trace = Trace(
+            config=TraceConfig(
+                pattern="sporadic", rate=6.0, duration=6.0, seed=0
+            ),
+            arrivals=arrivals,
+        )
+        results = testbed.platform.run_trace(deployment, trace, drain=30.0)
+        rows = [
+            {
+                "arrived_at": r.arrived_at.hex(),
+                "finished_at": r.finished_at.hex(),
+                "latency": r.latency.hex(),
+            }
+            for r in results
+        ]
+        assert rows == golden[f"fig15/{plane}/driving"]
+
+
+class TestDefaultsAreExplicit:
+    def test_explicit_default_knobs_change_nothing(self):
+        """Spelling out every default policy reproduces implicit defaults."""
+        from repro.platform import AdmissionConfig, build_platform
+
+        def run(**kwargs):
+            platform = build_platform(plane_name="grouter", **kwargs)
+            deployment = platform.deploy(get_workload("driving"))
+            procs = [platform.submit(deployment) for _ in range(5)]
+            platform.env.run()
+            return [
+                (p.value.arrived_at, p.value.finished_at, p.value.data_time)
+                for p in procs
+            ]
+
+        implicit = run()
+        explicit = run(
+            admission=AdmissionConfig(),
+            dispatch="round-robin",
+            autoscaler=None,
+            queue_policy="fifo",
+            stage_queue_limit=None,
+        )
+        assert implicit == explicit
+
+
+class TestNoLinearScans:
+    def test_pending_queue_avoids_list_scans(self):
+        """The O(1)/O(log n) pending path never scans python lists."""
+        source = inspect.getsource(queueing)
+        assert ".remove(" not in source
+        assert ".index(" not in source

@@ -104,11 +104,12 @@ class TestResultAccounting:
         proc = platform.submit(deployment)
         platform.env.run()
         result = proc.value
-        # A linear chain: queue+get+cold+exec+put per stage spans the
-        # request end to end (small control-plane slack allowed).
+        # A linear chain: queue+get+cold+exec+put per stage plus the
+        # final egress drain spans the request end to end (small
+        # control-plane slack allowed).
         accounted = sum(
             r.queued_time + r.get_time + r.cold_start + r.compute_time
-            + r.put_time
+            + r.put_time + r.egress_time
             for r in result.stage_records.values()
         )
         assert accounted == pytest.approx(result.latency, rel=0.05)

@@ -1,0 +1,156 @@
+"""Tests for autoscaling: policy decisions and replica-set mechanics."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.dataplane import make_plane
+from repro.platform import (
+    QueueDepthAutoscaler,
+    ServerlessPlatform,
+    make_autoscaler,
+)
+from repro.sim import Environment
+from repro.telemetry import EventBus
+from repro.telemetry.events import ReplicaScaled
+from repro.topology import make_cluster
+from repro.workflow import get_workload
+
+
+def make_platform(num_nodes=1, **kwargs):
+    env = Environment()
+    cluster = make_cluster("dgx-v100", num_nodes=num_nodes)
+    plane = make_plane("grouter", env, cluster)
+    return ServerlessPlatform(env, cluster, plane, **kwargs)
+
+
+class TestQueueDepthAutoscaler:
+    def test_scales_up_past_target(self):
+        scaler = QueueDepthAutoscaler(target_depth=2.0, cooldown=0.0)
+        assert scaler.desired_delta("k", 1, 3, 0.0) == 1
+
+    def test_holds_within_target(self):
+        scaler = QueueDepthAutoscaler(target_depth=2.0, cooldown=0.0)
+        assert scaler.desired_delta("k", 1, 2, 0.0) == 0
+
+    def test_scales_down_when_drained(self):
+        scaler = QueueDepthAutoscaler(target_depth=2.0, cooldown=0.0)
+        assert scaler.desired_delta("k", 2, 0, 0.0) == -1
+
+    def test_never_below_min_or_above_max(self):
+        scaler = QueueDepthAutoscaler(
+            target_depth=1.0, max_replicas=2, cooldown=0.0
+        )
+        assert scaler.desired_delta("k", 1, 0, 0.0) == 0  # at min
+        assert scaler.desired_delta("k", 2, 100, 0.0) == 0  # at max
+
+    def test_cooldown_suppresses_flapping(self):
+        scaler = QueueDepthAutoscaler(target_depth=1.0, cooldown=5.0)
+        assert scaler.desired_delta("k", 1, 10, 0.0) == 1
+        assert scaler.desired_delta("k", 1, 10, 1.0) == 0  # cooling down
+        assert scaler.desired_delta("k", 1, 10, 6.0) == 1
+        # Cooldown is per key: another stage scales independently.
+        assert scaler.desired_delta("other", 1, 10, 1.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            QueueDepthAutoscaler(target_depth=0.0)
+        with pytest.raises(SchedulingError):
+            QueueDepthAutoscaler(min_replicas=3, max_replicas=2)
+
+    def test_registry(self):
+        assert isinstance(
+            make_autoscaler("queue-depth"), QueueDepthAutoscaler
+        )
+        with pytest.raises(SchedulingError):
+            make_autoscaler("predictive")
+
+
+class TestScaleStageMechanics:
+    def test_grow_adds_placed_replicas_with_weights(self):
+        platform = make_platform(num_nodes=2)
+        deployment = platform.deploy(get_workload("driving"))
+        entry = deployment.workflow.entry_stages[0].name
+        stage = deployment.workflow.stages[entry]
+        count = platform.scale_stage(deployment, entry, 2)
+        assert count == 3
+        replicas = deployment.replica_sets[entry]
+        assert len(replicas) == 3
+        for instance in replicas:
+            if instance.is_gpu:
+                memory = platform.plane.device_memory[instance.device_id]
+                assert memory.used >= stage.spec.memory_footprint
+
+    def test_shrink_releases_weights_and_stops_at_one(self):
+        platform = make_platform(num_nodes=2)
+        deployment = platform.deploy(get_workload("driving"), replicas=2)
+        entry = deployment.workflow.entry_stages[0].name
+        removed = deployment.replica_sets[entry][-1]
+        before = platform.plane.device_memory[removed.device_id].used
+        assert platform.scale_stage(deployment, entry, -1) == 1
+        after = platform.plane.device_memory[removed.device_id].used
+        footprint = deployment.workflow.stages[entry].spec.memory_footprint
+        assert before - after == pytest.approx(footprint)
+        # Never drops below one replica, even when asked.
+        assert platform.scale_stage(deployment, entry, -5) == 1
+
+    def test_shrink_forgets_prewarm_state(self):
+        platform = make_platform(num_nodes=2)
+        deployment = platform.deploy(get_workload("driving"), replicas=2)
+        entry = deployment.workflow.entry_stages[0].name
+        removed = deployment.replica_sets[entry][-1]
+        assert platform.prewarmer.is_warm(removed.instance_id, 0.0)
+        tracked_before = platform.prewarmer.tracked
+        platform.scale_stage(deployment, entry, -1)
+        assert not platform.prewarmer.is_warm(removed.instance_id, 0.0)
+        assert platform.prewarmer.tracked == tracked_before - 1
+
+    def test_scaling_publishes_event(self):
+        platform = make_platform(num_nodes=2)
+        platform.env.telemetry = bus = EventBus()
+        events = []
+        bus.subscribe(ReplicaScaled, events.append)
+        deployment = platform.deploy(get_workload("driving"))
+        entry = deployment.workflow.entry_stages[0].name
+        platform.scale_stage(deployment, entry, 1)
+        assert len(events) == 1
+        assert events[0].stage == entry
+        assert events[0].delta == 1
+        assert events[0].replicas == 2
+
+    def test_requests_use_grown_replicas(self):
+        platform = make_platform(num_nodes=2)
+        deployment = platform.deploy(get_workload("driving"))
+        entry = deployment.workflow.entry_stages[0].name
+        platform.scale_stage(deployment, entry, 1)
+        for _ in range(4):
+            platform.submit(deployment)
+        platform.env.run()
+        assert len(platform.results) == 4
+        counts = [
+            len(r.executions) for r in deployment.replica_sets[entry]
+        ]
+        assert sorted(counts) == [2, 2]
+
+
+class TestAutoscalerIntegration:
+    def test_burst_grows_replicas(self):
+        platform = make_platform(
+            num_nodes=2,
+            autoscaler=QueueDepthAutoscaler(
+                target_depth=1.0, max_replicas=3, cooldown=0.0
+            ),
+        )
+        deployment = platform.deploy(get_workload("driving"))
+        for _ in range(8):
+            platform.submit(deployment)
+        platform.env.run()
+        assert len(platform.results) == 8
+        grown = max(
+            len(replicas)
+            for replicas in deployment.replica_sets.values()
+        )
+        assert grown > 1
+
+    def test_autoscaler_by_name(self):
+        platform = make_platform(autoscaler="queue-depth")
+        assert isinstance(platform.autoscaler, QueueDepthAutoscaler)
