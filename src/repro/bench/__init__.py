@@ -17,19 +17,29 @@ from repro.bench.requests import (
     format_platform_summary,
     run_platform_benchmarks,
 )
+from repro.bench.telemetry import (
+    TELEMETRY_BENCHMARKS,
+    bench_event_fanout,
+    format_telemetry_summary,
+    run_telemetry_benchmarks,
+)
 
 __all__ = [
     "BENCHMARKS",
     "DEFAULT_ALLOCATORS",
     "PLATFORM_BENCHMARKS",
     "SCHEMA_VERSION",
+    "TELEMETRY_BENCHMARKS",
+    "bench_event_fanout",
     "bench_fanin_hotspot",
     "bench_flow_churn",
     "bench_multipath_chunk_storm",
     "bench_request_churn",
     "format_platform_summary",
     "format_summary",
+    "format_telemetry_summary",
     "run_benchmarks",
     "run_platform_benchmarks",
+    "run_telemetry_benchmarks",
     "write_results",
 ]

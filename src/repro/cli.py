@@ -13,7 +13,14 @@ Commands
 ``bench``
     Run performance microbenchmarks.  ``--suite net`` (default) covers
     the network engine (``BENCH_net.json``); ``--suite platform`` runs
-    the request-lifecycle churn benchmark (``BENCH_platform.json``).
+    the request-lifecycle churn benchmark (``BENCH_platform.json``);
+    ``--suite telemetry`` measures event fan-out cost with the
+    recorder and profiler attached (``BENCH_telemetry.json``).
+``profile``
+    Run one experiment with the causal profiler attached: writes
+    ``profile.json`` (per-request critical paths with exact blame
+    tiling) and prints the per-category breakdown plus the Fig.-3
+    shaped data-passing share per plane.
 """
 
 from __future__ import annotations
@@ -223,8 +230,14 @@ def _cmd_workloads(_args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    import json
+
     from repro.report import metrics_summary_table
     from repro.telemetry import capture
+    from repro.telemetry.profiler import (
+        build_profiles,
+        critical_path_trace_events,
+    )
 
     if args.experiment not in EXPERIMENTS:
         print(f"unknown experiment: {args.experiment}", file=sys.stderr)
@@ -236,8 +249,17 @@ def _cmd_trace(args) -> int:
     out_dir = os.path.dirname(args.out)
     if out_dir:
         os.makedirs(out_dir, exist_ok=True)
-    doc = session.export_chrome_trace(args.out)
+    doc = session.export_chrome_trace()
+    # Dedicated critical-path track: the gating chain of every request
+    # as its own pid, one tid per request.
+    critical = critical_path_trace_events(
+        build_profiles(session.events), multi_run=session.run_count > 1
+    )
+    doc["traceEvents"].extend(critical)
+    with open(args.out, "w") as handle:
+        json.dump(doc, handle)
     print(f"wrote {args.out}: {len(doc['traceEvents'])} trace events "
+          f"({len(critical)} critical-path) "
           f"from {session.run_count} run(s) "
           f"(open in ui.perfetto.dev or chrome://tracing)")
     print()
@@ -249,12 +271,58 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.telemetry import capture
+    from repro.telemetry.profiler import (
+        breakdown_table,
+        build_profiles,
+        profile_document,
+    )
+
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment: {args.experiment}", file=sys.stderr)
+        print(f"choose from: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    _description, full, quick = EXPERIMENTS[args.experiment]
+    with capture() as session:
+        tables = quick() if args.quick else full()
+    builders = build_profiles(session.events)
+    document = profile_document(builders, experiment=args.experiment)
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2)
+    profiled = sum(len(run["requests"]) for run in document["runs"])
+    inexact = sum(
+        1
+        for run in document["runs"]
+        for request in run["requests"]
+        if not request["exact"]
+    )
+    print(f"wrote {args.out}: {profiled} request(s) profiled across "
+          f"{len(document['runs'])} run(s), "
+          f"{profiled - inexact}/{profiled} with exact blame tiling")
+    for table in breakdown_table(document):
+        print()
+        print(render(table, args.format))
+    if not args.quiet:
+        for table in tables:
+            print()
+            print(render(table, args.format))
+    return 0 if inexact == 0 else 1
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import format_summary, run_benchmarks, write_results
     from repro.net.network import ALLOCATORS
 
     if args.suite == "platform":
         return _cmd_bench_platform(args)
+    if args.suite == "telemetry":
+        return _cmd_bench_telemetry(args)
     allocators = args.allocators.split(",") if args.allocators else None
     if allocators:
         unknown = [a for a in allocators if a not in ALLOCATORS]
@@ -313,6 +381,37 @@ def _cmd_bench_platform(args) -> int:
     return 0
 
 
+def _cmd_bench_telemetry(args) -> int:
+    from repro.bench import (
+        format_telemetry_summary,
+        run_telemetry_benchmarks,
+        write_results,
+    )
+
+    if args.allocators:
+        print("--allocators applies to the net suite only", file=sys.stderr)
+        return 2
+    try:
+        document = run_telemetry_benchmarks(
+            quick=args.quick,
+            names=args.benchmarks or None,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_telemetry_summary(document))
+    out = args.out
+    if out == "BENCH_net.json":  # suite-specific default
+        out = "BENCH_telemetry.json"
+    if out:
+        out_dir = os.path.dirname(out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        write_results(document, out)
+        print(f"\nwrote {out}")
+    return 0
+
+
 def _cmd_validate(_args) -> int:
     from repro.validate import run_scorecard
 
@@ -353,6 +452,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--quiet", action="store_true",
                        help="skip the experiment's own result tables")
 
+    profile = sub.add_parser(
+        "profile",
+        help="run an experiment with the causal profiler; export "
+             "profile.json with per-request critical-path blame",
+    )
+    profile.add_argument("experiment")
+    profile.add_argument("--quick", action="store_true",
+                         help="scaled-down parameters")
+    profile.add_argument("--out", default="profile.json",
+                         help="profile file to write (default: profile.json)")
+    profile.add_argument("--format", choices=FORMATS, default="table")
+    profile.add_argument("--quiet", action="store_true",
+                         help="skip the experiment's own result tables")
+
     sub.add_parser("workloads", help="describe the workflow suite")
 
     bench = sub.add_parser(
@@ -364,15 +477,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark names to run (default: all in the suite)",
     )
     bench.add_argument(
-        "--suite", choices=("net", "platform"), default="net",
-        help="benchmark suite: network engine (default) or the "
-             "request-lifecycle platform",
+        "--suite", choices=("net", "platform", "telemetry"), default="net",
+        help="benchmark suite: network engine (default), the "
+             "request-lifecycle platform, or telemetry fan-out",
     )
     bench.add_argument("--quick", action="store_true",
                        help="scaled-down parameters for CI smoke runs")
     bench.add_argument("--out", default="BENCH_net.json",
                        help="JSON results file (default: BENCH_net.json, "
-                            "or BENCH_platform.json for --suite platform)")
+                            "or BENCH_<suite>.json for the other suites)")
     bench.add_argument(
         "--allocators",
         help="comma-separated allocator modes "
@@ -393,6 +506,7 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "topo": _cmd_topo,
         "trace": _cmd_trace,
+        "profile": _cmd_profile,
         "workloads": _cmd_workloads,
         "bench": _cmd_bench,
         "validate": _cmd_validate,

@@ -32,7 +32,7 @@ from repro.sim.resources import Container
 from repro.storage.catalog import AccessController, DataCatalog
 from repro.storage.objects import DataObject, DataRef
 from repro.storage.stores import GpuStore, HostStore
-from repro.telemetry.events import RouteSelected, StoreEvict, StoreGet
+from repro.telemetry.events import PlaneInfo, RouteSelected, StoreEvict, StoreGet
 from repro.topology.cluster import ClusterTopology
 from repro.workflow.dag import Workflow
 
@@ -189,6 +189,10 @@ class DataPlane(abc.ABC):
                 # baselines' static pools and GROUTER's idle floor are
                 # in place before the first request arrives.
                 pool.prewarm(min(pool_prewarm, 0.25 * gpu.memory_capacity))
+
+        bus = env.telemetry
+        if bus is not None:
+            bus.publish(PlaneInfo(t=env.now, plane=self.name))
 
     # -- public API ----------------------------------------------------------
     def attach_queue_oracle(self, oracle: Optional[QueueOracle]) -> None:
@@ -374,6 +378,7 @@ class DataPlane(abc.ABC):
         slo_deadline: Optional[float] = None,
         chunked: Optional[bool] = None,
         pinned_node: Optional[str] = None,
+        owner: str = "",
     ):
         """Generator: execute a transfer and record it in metrics."""
         started = self.env.now
@@ -398,6 +403,7 @@ class DataPlane(abc.ABC):
             chunked=use_chunked,
             pinned_buffer=pinned,
             tag=category,
+            owner=owner,
         )
         self.metrics.record(
             TransferRecord(

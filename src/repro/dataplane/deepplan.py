@@ -42,6 +42,7 @@ class DeepPlanPlane(NvshmemPlane):
             dst=gpu.device_id,
             chunked=True,
             pinned_node=node.node_id,
+            owner=ctx.request_id,
         )
 
     def _gpu_to_host(self, node: NodeTopology, gpu: Gpu, size: float,
@@ -55,4 +56,5 @@ class DeepPlanPlane(NvshmemPlane):
             dst=node.host.device_id,
             chunked=True,
             pinned_node=node.node_id,
+            owner=ctx.request_id,
         )

@@ -127,6 +127,7 @@ class GRouterPlane(DataPlane):
             "slo_deadline": (
                 ctx.slo_deadline if self._rate_control_on else None
             ),
+            "owner": ctx.request_id,
         }
 
     # -- elastic-storage hooks --------------------------------------------------
@@ -252,6 +253,7 @@ class GRouterPlane(DataPlane):
                 "host-host",
                 src=src_node.host.device_id,
                 dst=ctx.node.host.device_id,
+                owner=ctx.request_id,
             )
             # Concurrent gets of the same remote object both pay for the
             # wire transfer, but only the first to finish migrates the

@@ -44,6 +44,7 @@ class HostCentricPlane(DataPlane):
                 src=ctx.device_id,
                 dst=ctx.node.host.device_id,
                 pinned_node=ctx.node.node_id,
+                owner=ctx.request_id,
             )
         else:
             # cFn output is already in host memory (shared-memory map).
@@ -67,6 +68,7 @@ class HostCentricPlane(DataPlane):
                 CAT_HOST_HOST,
                 src=src_node.host.device_id,
                 dst=ctx.node.host.device_id,
+                owner=ctx.request_id,
             )
             self.host_stores[node_id].remove(obj)
             self._store_on_host(obj, ctx.node.node_id)
@@ -81,6 +83,7 @@ class HostCentricPlane(DataPlane):
                 src=ctx.node.host.device_id,
                 dst=ctx.device_id,
                 pinned_node=ctx.node.node_id,
+                owner=ctx.request_id,
             )
             category = CAT_GFN_HOST
         else:

@@ -111,6 +111,7 @@ class NvshmemPlane(DataPlane):
             src=node.host.device_id,
             dst=gpu.device_id,
             pinned_node=node.node_id,
+            owner=ctx.request_id,
         )
 
     def _gpu_to_host(self, node: NodeTopology, gpu: Gpu, size: float,
@@ -122,6 +123,7 @@ class NvshmemPlane(DataPlane):
             src=gpu.device_id,
             dst=node.host.device_id,
             pinned_node=node.node_id,
+            owner=ctx.request_id,
         )
 
     # -- Put -----------------------------------------------------------------
@@ -152,6 +154,7 @@ class NvshmemPlane(DataPlane):
                     CAT_GFN_GFN_INTRA,
                     src=ctx.device_id,
                     dst=storage_gpu.device_id,
+                    owner=ctx.request_id,
                 )
         self.catalog.register(obj, ctx.node.node_id)
         return obj.to_ref()
@@ -192,6 +195,7 @@ class NvshmemPlane(DataPlane):
                 CAT_GFN_GFN_INTRA,
                 src=gpu_device,
                 dst=ctx.device_id,
+                owner=ctx.request_id,
             )
             source, category = gpu_device, CAT_GFN_GFN_INTRA
         self._note_consumed(ctx, obj)
@@ -220,6 +224,7 @@ class NvshmemPlane(DataPlane):
                     CAT_GFN_GFN_CROSS,
                     src=src_node.host.device_id,
                     dst=ctx.node.host.device_id,
+                    owner=ctx.request_id,
                 )
                 self.host_stores[src_node_id].remove(obj)
                 self._store_on_host(obj, ctx.node.node_id)
@@ -236,6 +241,7 @@ class NvshmemPlane(DataPlane):
             CAT_GFN_GFN_CROSS,
             src=src_device,
             dst=dst_storage.device_id,
+            owner=ctx.request_id,
         )
         self.gpu_stores[src_device].remove(obj)
         self._release_symmetric(obj)

@@ -83,6 +83,7 @@ class MemoryPool:
         return self.env.process(self._alloc(size))
 
     def _alloc(self, size: float):
+        requested_at = self.env.now
         grew = self.idle_reserved < size
         if not grew:
             yield self.env.timeout(self.cost_model.pool_hit)
@@ -105,6 +106,7 @@ class MemoryPool:
                 reserved=self._reserved,
                 in_use=self._in_use,
                 grew=grew,
+                requested_at=requested_at,
             ))
         return PoolAllocation(next(MemoryPool._ids), size, self)
 

@@ -91,6 +91,7 @@ class Flow:
         rate_cap: float = float("inf"),
         slo_deadline: Optional[float] = None,
         tag: str = "",
+        owner: str = "",
     ) -> None:
         if not path:
             raise SimulationError("flow path must contain at least one link")
@@ -106,6 +107,7 @@ class Flow:
         self.rate_cap = rate_cap
         self.slo_deadline = slo_deadline
         self.tag = tag
+        self.owner = owner
         self.rate = 0.0
         self.started_at = env.now
         self.done: Event = env.event()
@@ -238,6 +240,7 @@ class FlowNetwork:
         rate_cap: float = float("inf"),
         slo_deadline: Optional[float] = None,
         tag: str = "",
+        owner: str = "",
     ) -> Flow:
         """Begin a transfer of *size* bytes over *path*.
 
@@ -252,6 +255,7 @@ class FlowNetwork:
             rate_cap=rate_cap,
             slo_deadline=slo_deadline,
             tag=tag,
+            owner=owner,
         )
         for link in flow.path:
             if link.link_id not in self._links:
@@ -262,14 +266,9 @@ class FlowNetwork:
         self._flows[flow.flow_id] = flow
         for link in flow.path:
             self._links[link.link_id].flows[flow.flow_id] = flow
-        if self.allocator == "legacy":
-            self._reallocate_legacy("start", flow.flow_id)
-        else:
-            # A new flow can merge previously disjoint components; the
-            # component search from the attached flow covers the merge.
-            # Progress inside the component is advanced at the old
-            # rates before they change; everything outside stays lazy.
-            self._reallocate_scoped([flow], "start", flow.flow_id)
+        # Announce the flow before the reallocation below publishes its
+        # first rate epoch, so stream consumers (the profiler's span
+        # trees) see a complete bandwidth history from birth.
         bus = self.env.telemetry
         if bus is not None:
             bus.publish(FlowStarted(
@@ -280,7 +279,17 @@ class FlowNetwork:
                 links=tuple(link.link_id for link in flow.path),
                 src=flow.path[0].src,
                 dst=flow.path[-1].dst,
+                nominal_bw=min(link.capacity for link in flow.path),
+                owner=flow.owner,
             ))
+        if self.allocator == "legacy":
+            self._reallocate_legacy("start", flow.flow_id)
+        else:
+            # A new flow can merge previously disjoint components; the
+            # component search from the attached flow covers the merge.
+            # Progress inside the component is advanced at the old
+            # rates before they change; everything outside stays lazy.
+            self._reallocate_scoped([flow], "start", flow.flow_id)
         return flow
 
     def cancel_flow(self, flow: Flow) -> None:
@@ -444,6 +453,7 @@ class FlowNetwork:
                 component=tuple(f.flow_id for f in component),
                 links=tuple(links),
                 rescheduled=tuple(rescheduled),
+                rates=tuple(f.rate for f in component),
             ))
 
     def _reallocate_legacy(self, trigger: str, changed_id: int) -> None:
@@ -469,6 +479,7 @@ class FlowNetwork:
                 component=tuple(f.flow_id for f in flows),
                 links=tuple(self._links),
                 rescheduled=tuple(f.flow_id for f in flows),
+                rates=tuple(f.rate for f in flows),
             ))
 
     # -- internals -----------------------------------------------------------
@@ -541,6 +552,7 @@ class FlowNetwork:
                 src=flow.path[0].src,
                 dst=flow.path[-1].dst,
                 started_at=flow.started_at,
+                owner=flow.owner,
             ))
 
     def _stats(self, flow: Flow) -> FlowStats:

@@ -137,6 +137,7 @@ class TransferEngine:
         chunked: bool = True,
         pinned_buffer: Optional[Container] = None,
         tag: str = "",
+        owner: str = "",
     ) -> Process:
         """Move *size* bytes over *paths*; returns the completion process.
 
@@ -158,6 +159,7 @@ class TransferEngine:
                 chunked,
                 pinned_buffer,
                 tag,
+                owner,
             )
         )
 
@@ -185,6 +187,7 @@ class TransferEngine:
         chunked: bool,
         pinned_buffer: Optional[Container],
         tag: str,
+        owner: str,
     ):
         started = self.env.now
         bus = self.env.telemetry
@@ -199,6 +202,7 @@ class TransferEngine:
                 src=paths[0].src,
                 dst=paths[0].dst,
                 num_paths=len(paths),
+                owner=owner,
             ))
         shares = self.split_sizes(paths, size)
         workers = []
@@ -216,6 +220,7 @@ class TransferEngine:
                         chunked,
                         pinned_buffer,
                         tag,
+                        owner,
                     )
                 )
             )
@@ -229,6 +234,7 @@ class TransferEngine:
                 src=paths[0].src,
                 dst=paths[0].dst,
                 started_at=started,
+                owner=owner,
             ))
         return TransferResult(
             size=size,
@@ -247,6 +253,7 @@ class TransferEngine:
         chunked: bool,
         pinned_buffer: Optional[Container],
         tag: str,
+        owner: str,
     ):
         # Pipeline-fill latency: the first chunk must traverse every hop
         # before the stream reaches steady state, plus propagation.
@@ -261,7 +268,7 @@ class TransferEngine:
 
         if not chunked:
             yield from self._send_block(
-                path, size, min_rate, slo_deadline, pinned_buffer, tag
+                path, size, min_rate, slo_deadline, pinned_buffer, tag, owner
             )
             return
 
@@ -272,7 +279,7 @@ class TransferEngine:
             if self.batch_setup > 0:
                 yield self.env.timeout(self.batch_setup)
             yield from self._send_block(
-                path, block, min_rate, slo_deadline, pinned_buffer, tag
+                path, block, min_rate, slo_deadline, pinned_buffer, tag, owner
             )
             remaining -= block
 
@@ -284,6 +291,7 @@ class TransferEngine:
         slo_deadline: Optional[float],
         pinned_buffer: Optional[Container],
         tag: str,
+        owner: str,
     ):
         if pinned_buffer is not None:
             grab = min(size, pinned_buffer.capacity)
@@ -297,6 +305,7 @@ class TransferEngine:
                 min_rate=min_rate,
                 slo_deadline=slo_deadline,
                 tag=tag,
+                owner=owner,
             )
             yield flow.done
         finally:

@@ -115,3 +115,16 @@ class AdmissionController:
                 return REJECT_RATE
         self.admitted += 1
         return None
+
+    def bucket_level(self, workflow_id: str) -> Optional[tuple[float, float]]:
+        """Current ``(tokens, burst)`` of a deployment's bucket, or ``None``.
+
+        ``None`` means rate limiting is off or no request for this
+        deployment has been checked yet (buckets materialise lazily).
+        """
+        if self.config.rate is None:
+            return None
+        bucket = self._buckets.get(workflow_id)
+        if bucket is None:
+            return None
+        return (bucket.tokens, bucket.burst)

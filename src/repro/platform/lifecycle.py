@@ -202,7 +202,12 @@ class RequestLifecycle:
         self.result.skipped_stages.append(stage)
 
     def publish_span(
-        self, stage: str, kind: str, start: float, device_id: str = ""
+        self,
+        stage: str,
+        kind: str,
+        start: float,
+        device_id: str = "",
+        replica: str = "",
     ) -> None:
         """Publish one timed span ending now (no-op without a bus)."""
         bus = self.env.telemetry
@@ -215,4 +220,5 @@ class RequestLifecycle:
                 start=start,
                 end=self.env.now,
                 device_id=device_id,
+                replica=replica,
             ))

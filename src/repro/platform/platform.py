@@ -77,7 +77,7 @@ from repro.sim.core import Environment, Process
 from repro.sim.resources import Resource
 from repro.storage.objects import DataRef
 from repro.telemetry.bus import EventBus
-from repro.telemetry.events import ReplicaScaled
+from repro.telemetry.events import AdmissionTokens, ReplicaScaled
 from repro.topology.cluster import ClusterTopology
 from repro.topology.devices import Gpu
 from repro.topology.node import PCIE3_BW
@@ -549,6 +549,17 @@ class ServerlessPlatform:
         reject_reason = self.admission.check(
             deployment.workflow_id, self.env.now, self.queue.depth
         )
+        bus = self.env.telemetry
+        if bus is not None:
+            level = self.admission.bucket_level(deployment.workflow_id)
+            if level is not None:
+                tokens, burst = level
+                bus.publish(AdmissionTokens(
+                    t=self.env.now,
+                    workflow=deployment.workflow_id,
+                    tokens=tokens,
+                    burst=burst,
+                ))
         if reject_reason is not None:
             outcome = lifecycle.reject(reject_reason)
             self.rejections.append(outcome)
@@ -602,6 +613,10 @@ class ServerlessPlatform:
             yield self.plane.get(egress_ctx, payload)
             record = result.stage_records[exit_stage.name]
             record.egress_time += self.env.now - started
+            lifecycle.publish_span(
+                exit_stage.name, "egress", started,
+                deployment.egress.device_id,
+            )
         self.queue.finish(request_id)
         result = lifecycle.finish()
         self.results.append(result)
@@ -694,7 +709,8 @@ class ServerlessPlatform:
         record.queued_time = self.env.now - ready_at
         if record.queued_time > 0:
             lifecycle.publish_span(
-                stage.name, "queue", ready_at, instance.device_id
+                stage.name, "queue", ready_at, instance.device_id,
+                replica=instance.instance_id,
             )
 
         # The transfer deadline reflects the slack the invocation has
@@ -715,7 +731,8 @@ class ServerlessPlatform:
             record.get_time = self.env.now - t_get
             record.input_bytes = sum(ref.size for ref in inputs)
             lifecycle.publish_span(
-                stage.name, "get", t_get, instance.device_id
+                stage.name, "get", t_get, instance.device_id,
+                replica=instance.instance_id,
             )
 
             # Cold start penalty (container + model load) if not warm.
@@ -731,7 +748,8 @@ class ServerlessPlatform:
                 t_cold = self.env.now
                 yield self.env.timeout(penalty)
                 lifecycle.publish_span(
-                    stage.name, "cold-start", t_cold, instance.device_id
+                    stage.name, "cold-start", t_cold, instance.device_id,
+                    replica=instance.instance_id,
                 )
 
             t_exec = self.env.now
@@ -740,7 +758,8 @@ class ServerlessPlatform:
             )
             record.compute_time = execution.duration
             lifecycle.publish_span(
-                stage.name, "exec", t_exec, instance.device_id
+                stage.name, "exec", t_exec, instance.device_id,
+                replica=instance.instance_id,
             )
 
             # Publish the output for downstream consumers.
@@ -756,7 +775,8 @@ class ServerlessPlatform:
             )
             record.put_time = self.env.now - t_put
             lifecycle.publish_span(
-                stage.name, "put", t_put, instance.device_id
+                stage.name, "put", t_put, instance.device_id,
+                replica=instance.instance_id,
             )
         finally:
             resource.release(slot)

@@ -31,6 +31,7 @@ import heapq
 
 from repro.common.errors import SchedulingError
 from repro.sim.core import Environment, Event
+from repro.telemetry.events import StageQueueDepth
 
 _MIN_SLOTS = 64
 
@@ -168,6 +169,17 @@ class StageQueue:
         self.total_entered = 0
         self.peak_depth = 0
 
+    def _publish_depth(self) -> None:
+        """Sample the queue's occupancy onto the bus (counter track)."""
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(StageQueueDepth(
+                t=self.env.now,
+                stage=self.stage,
+                depth=self._depth,
+                backlog=len(self._waiting),
+            ))
+
     def enter(self, priority: float = 0.0) -> Optional[Event]:
         """Claim a slot; returns ``None`` if granted now, else an event.
 
@@ -180,11 +192,13 @@ class StageQueue:
         if self.maxsize is None or self._depth < self.maxsize:
             self._depth += 1
             self.peak_depth = max(self.peak_depth, self._depth)
+            self._publish_depth()
             return None
         key = priority if self.policy == "priority" else 0.0
         event = self.env.event()
         heapq.heappush(self._waiting, (key, self._seq, event))
         self._seq += 1
+        self._publish_depth()
         return event
 
     def leave(self) -> None:
@@ -196,6 +210,7 @@ class StageQueue:
             _key, _seq, event = heapq.heappop(self._waiting)
             self._depth += 1
             event.succeed()
+        self._publish_depth()
 
     @property
     def depth(self) -> int:

@@ -14,15 +14,19 @@ all together from the command line.
 from repro.telemetry.bus import EventBus
 from repro.telemetry.chrome import export_chrome_trace, to_trace_events
 from repro.telemetry.events import (
+    AdmissionTokens,
     FlowFinished,
+    FlowsReallocated,
     FlowStarted,
     PlacementDecision,
+    PlaneInfo,
     PoolAlloc,
     PoolFree,
     PoolTrim,
     RequestArrived,
     RequestFinished,
     RouteSelected,
+    StageQueueDepth,
     StageSpan,
     StoreEvict,
     StoreGet,
@@ -36,20 +40,24 @@ from repro.telemetry.recorder import StandardMetrics, TraceRecorder
 from repro.telemetry.session import TelemetrySession, capture
 
 __all__ = [
+    "AdmissionTokens",
     "Counter",
     "EventBus",
     "FlowFinished",
     "FlowStarted",
+    "FlowsReallocated",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "PlacementDecision",
+    "PlaneInfo",
     "PoolAlloc",
     "PoolFree",
     "PoolTrim",
     "RequestArrived",
     "RequestFinished",
     "RouteSelected",
+    "StageQueueDepth",
     "StageSpan",
     "StandardMetrics",
     "StoreEvict",

@@ -58,12 +58,22 @@ class EventBus:
             listeners.remove(callback)
 
     def publish(self, event: TelemetryEvent) -> None:
-        """Deliver *event* synchronously to every matching subscriber."""
+        """Deliver *event* synchronously to every matching subscriber.
+
+        Delivery iterates over a snapshot of each callback list, so a
+        subscriber may ``unsubscribe`` (itself or another callback) or
+        ``subscribe`` during delivery without corrupting the fan-out.
+        A callback removed mid-publish still receives the in-flight
+        event; one added mid-publish first sees the next event.
+        """
         self.published += 1
-        for callback in self._by_type.get(type(event), ()):
-            callback(event)
-        for callback in self._all:
-            callback(event)
+        typed = self._by_type.get(type(event))
+        if typed:
+            for callback in tuple(typed):
+                callback(event)
+        if self._all:
+            for callback in tuple(self._all):
+                callback(event)
 
     @property
     def subscriber_count(self) -> int:

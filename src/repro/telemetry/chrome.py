@@ -7,8 +7,9 @@ Maps the telemetry event stream onto the Trace Event Format that
   so the node is the prefix before the first dot);
 - one **thread** (``tid``) per GPU, link, or host device;
 - transfers, flows, and request stage spans become complete (``"X"``)
-  slices; store operations become instants (``"i"``); pool occupancy
-  becomes counter (``"C"``) tracks.
+  slices; store operations become instants (``"i"``); pool occupancy,
+  stage-queue depth, and admission token-bucket levels become counter
+  (``"C"``) tracks.
 
 Simulation seconds map to trace microseconds.  A telemetry session may
 span several independent simulation runs (an experiment builds a fresh
@@ -22,6 +23,7 @@ import json
 from typing import Iterable, Optional, Union
 
 from repro.telemetry.events import (
+    AdmissionTokens,
     FlowFinished,
     PlacementDecision,
     PoolAlloc,
@@ -29,6 +31,7 @@ from repro.telemetry.events import (
     PoolTrim,
     RequestArrived,
     RequestFinished,
+    StageQueueDepth,
     StageSpan,
     StoreEvict,
     StoreGet,
@@ -142,6 +145,18 @@ def _convert(event: TelemetryEvent, pid_prefix: str) -> list[dict]:
             f"pool {event.device_id}", event.t,
             p + _node_of(event.device_id), event.device_id,
             {"reserved": event.reserved, "in_use": event.in_use},
+        )]
+    if isinstance(event, StageQueueDepth):
+        return [_counter(
+            f"stage-queue {event.stage}", event.t,
+            p + PLATFORM_PID, f"queue:{event.stage}",
+            {"depth": event.depth, "backlog": event.backlog},
+        )]
+    if isinstance(event, AdmissionTokens):
+        return [_counter(
+            f"admission {event.workflow}", event.t,
+            p + PLATFORM_PID, "admission",
+            {"tokens": event.tokens},
         )]
     if isinstance(event, PlacementDecision):
         return [_instant(

@@ -27,7 +27,14 @@ class TelemetryEvent:
 # -- network -----------------------------------------------------------------
 @dataclass(frozen=True)
 class FlowStarted(TelemetryEvent):
-    """A flow began occupying its link path."""
+    """A flow began occupying its link path.
+
+    ``nominal_bw`` is the bottleneck link capacity along the path — the
+    rate the flow would sustain alone, which the profiler uses to split
+    transfer time into serialization vs. link contention.  ``owner`` is
+    the request id the flow moves data for (empty for background work
+    such as eviction migrations).
+    """
 
     flow_id: int
     tag: str
@@ -35,6 +42,8 @@ class FlowStarted(TelemetryEvent):
     links: tuple[str, ...]
     src: str
     dst: str
+    nominal_bw: float = 0.0
+    owner: str = ""
 
 
 @dataclass(frozen=True)
@@ -48,6 +57,7 @@ class FlowFinished(TelemetryEvent):
     src: str
     dst: str
     started_at: float
+    owner: str = ""
 
 
 @dataclass(frozen=True)
@@ -59,6 +69,11 @@ class FlowsReallocated(TelemetryEvent):
     flow ids whose rates were re-derived, ``links`` the links bounding
     them, and ``rescheduled`` the subset whose completion timers were
     actually rearmed (the rest had exactly unchanged rates).
+
+    ``rates`` is aligned index-for-index with ``component``: the rate
+    each member flow holds from this instant until the next
+    reallocation that includes it — the *bandwidth epochs* the
+    profiler's contention attributor integrates over.
     """
 
     trigger: str  # "start" | "finish" | "cancel"
@@ -66,6 +81,7 @@ class FlowsReallocated(TelemetryEvent):
     component: tuple[int, ...]
     links: tuple[str, ...]
     rescheduled: tuple[int, ...]
+    rates: tuple[float, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -78,6 +94,7 @@ class TransferStarted(TelemetryEvent):
     src: str
     dst: str
     num_paths: int
+    owner: str = ""
 
 
 @dataclass(frozen=True)
@@ -90,6 +107,7 @@ class TransferFinished(TelemetryEvent):
     src: str
     dst: str
     started_at: float
+    owner: str = ""
 
 
 @dataclass(frozen=True)
@@ -137,13 +155,20 @@ class StoreEvict(TelemetryEvent):
 # -- memory --------------------------------------------------------------------
 @dataclass(frozen=True)
 class PoolAlloc(TelemetryEvent):
-    """A pool allocation completed; carries post-alloc occupancy."""
+    """A pool allocation completed; carries post-alloc occupancy.
+
+    ``requested_at`` is when the allocation was asked for; ``t`` minus
+    ``requested_at`` is the allocation delay (pool hit latency or the
+    ``cudaMalloc``-scale growth cost), otherwise unrecoverable from the
+    stream.
+    """
 
     device_id: str
     size: float
     reserved: float
     in_use: float
     grew: bool
+    requested_at: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -226,7 +251,13 @@ class RequestFinished(TelemetryEvent):
 
 @dataclass(frozen=True)
 class StageSpan(TelemetryEvent):
-    """One timed region of a request stage (queue/get/cold/exec/put)."""
+    """One timed region of a request stage.
+
+    ``kind`` is one of ``queue`` / ``get`` / ``cold-start`` / ``exec``
+    / ``put`` / ``egress``.  ``replica`` is the instance id dispatch
+    chose for this stage invocation (empty for I/O spans), so span
+    consumers can tell apart replicas co-resident on one device.
+    """
 
     request_id: str
     stage: str
@@ -234,3 +265,30 @@ class StageSpan(TelemetryEvent):
     start: float
     end: float
     device_id: str
+    replica: str = ""
+
+
+@dataclass(frozen=True)
+class StageQueueDepth(TelemetryEvent):
+    """A stage queue's depth or backlog changed (counter-track sample)."""
+
+    stage: str
+    depth: int
+    backlog: int
+
+
+@dataclass(frozen=True)
+class AdmissionTokens(TelemetryEvent):
+    """Post-check level of a deployment's admission token bucket."""
+
+    workflow: str
+    tokens: float
+    burst: float
+
+
+# -- data plane ----------------------------------------------------------------
+@dataclass(frozen=True)
+class PlaneInfo(TelemetryEvent):
+    """A data plane came up on this environment (labels the run)."""
+
+    plane: str

@@ -1,0 +1,294 @@
+"""Blame aggregation and reporting over profiled runs.
+
+Takes the per-run :class:`~repro.telemetry.profiler.spans.SpanTreeBuilder`
+output, extracts each completed request's critical path, attributes
+transfer contention, and folds everything into:
+
+- a ``profile.json``-shaped document (:func:`profile_document`) with
+  per-request critical paths and per-plane category aggregates;
+- ASCII :class:`~repro.experiments.harness.ExperimentTable` views
+  (:func:`breakdown_table`): the per-category percentile breakdown and
+  the Fig.-3-shaped "data-passing share of latency" comparison;
+- Chrome ``trace_event`` slices for the critical-path track
+  (:func:`critical_path_trace_events`) that ``repro trace`` appends to
+  its Perfetto export.
+
+Imports of the experiment harness are deferred into function bodies:
+this module is reachable from ``repro.telemetry.profiler`` and must not
+drag the platform (and its telemetry imports) into a cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.telemetry.profiler.contention import attribute_contention
+from repro.telemetry.profiler.critical_path import (
+    CATEGORIES,
+    DATA_CATEGORIES,
+    extract_critical_path,
+)
+from repro.telemetry.profiler.spans import SpanTreeBuilder
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class BlameBreakdown:
+    """Aggregate blame for one plane across its completed requests."""
+
+    plane: str
+    requests: int = 0
+    latencies: list[float] = field(default_factory=list)
+    # category -> per-request critical-path durations
+    category_times: dict[str, list[float]] = field(default_factory=dict)
+
+    def add(self, latency: float, blame: dict[str, float]) -> None:
+        self.requests += 1
+        self.latencies.append(latency)
+        for category in CATEGORIES:
+            self.category_times.setdefault(category, []).append(
+                blame.get(category, 0.0)
+            )
+
+    def total(self, category: str) -> float:
+        return math.fsum(self.category_times.get(category, ()))
+
+    @property
+    def total_latency(self) -> float:
+        return math.fsum(self.latencies)
+
+    def share(self, category: str) -> float:
+        denominator = self.total_latency
+        if denominator <= 0:
+            return 0.0
+        return self.total(category) / denominator
+
+    @property
+    def data_passing_share(self) -> float:
+        """Critical-path data-passing fraction (Fig.-3 shape)."""
+        return math.fsum(self.share(c) for c in DATA_CATEGORIES)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated percentile; 0.0 on an empty list."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    fraction = rank - lo
+    return ordered[lo] * (1 - fraction) + ordered[hi] * fraction
+
+
+def _workflow_for(name: str):
+    """The Workflow DAG behind a deployed workload name, or None."""
+    from repro.workflow import WORKLOADS, get_workload
+
+    if name in WORKLOADS:
+        return get_workload(name).workflow
+    return None
+
+
+def profile_document(
+    builders: dict[int, SpanTreeBuilder],
+    experiment: str = "",
+) -> dict:
+    """Build the ``profile.json`` document for a profiled session.
+
+    One entry per run (environment) with every completed request's
+    critical path, plus per-plane aggregates.  Requests whose blame
+    does not tile exactly to their latency are flagged ``exact: false``
+    (none should be, the property suite enforces it).
+    """
+    workflow_cache: dict[str, object] = {}
+    breakdowns: dict[str, BlameBreakdown] = {}
+    runs = []
+    for run_index in sorted(builders):
+        builder = builders[run_index]
+        plane = builder.plane or f"run{run_index}"
+        contention = attribute_contention(builder.flows)
+        requests = []
+        for tree in builder.completed:
+            if tree.workflow not in workflow_cache:
+                workflow_cache[tree.workflow] = _workflow_for(tree.workflow)
+            workflow = workflow_cache[tree.workflow]
+            path = extract_critical_path(tree, workflow)
+            if path is None:
+                continue
+            blame = path.blame
+            serialization = math.fsum(
+                contention[fid].serialization_time
+                for fid in tree.flow_ids
+                if fid in contention
+            )
+            stolen = math.fsum(
+                contention[fid].contention_time
+                for fid in tree.flow_ids
+                if fid in contention
+            )
+            requests.append({
+                "request_id": tree.request_id,
+                "workflow": tree.workflow,
+                "arrived": tree.arrived,
+                "finished": tree.finished,
+                "latency": tree.latency,
+                "slo_met": tree.slo_met,
+                "exact": path.verify(tree.latency),
+                "blame": blame,
+                "data_passing_time": path.data_passing_time,
+                "serialization_time": serialization,
+                "contention_time": stolen,
+                "critical_path": [
+                    {
+                        "start": s.start,
+                        "end": s.end,
+                        "category": s.category,
+                        "stage": s.stage,
+                    }
+                    for s in path.segments
+                ],
+            })
+            breakdown = breakdowns.get(plane)
+            if breakdown is None:
+                breakdown = breakdowns[plane] = BlameBreakdown(plane)
+            breakdown.add(tree.latency, blame)
+        runs.append({
+            "run": run_index,
+            "plane": plane,
+            "requests": requests,
+        })
+
+    planes = {}
+    for plane, breakdown in breakdowns.items():
+        categories = {}
+        for category in CATEGORIES:
+            times = breakdown.category_times.get(category, [])
+            total = math.fsum(times)
+            if total <= 0:
+                continue
+            categories[category] = {
+                "total_s": total,
+                "share": breakdown.share(category),
+                "p50_ms": _percentile(times, 0.50) * 1e3,
+                "p99_ms": _percentile(times, 0.99) * 1e3,
+            }
+        planes[plane] = {
+            "requests": breakdown.requests,
+            "p50_ms": _percentile(breakdown.latencies, 0.50) * 1e3,
+            "p99_ms": _percentile(breakdown.latencies, 0.99) * 1e3,
+            "data_passing_share": breakdown.data_passing_share,
+            "categories": categories,
+        }
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "repro profile",
+        "experiment": experiment,
+        "runs": runs,
+        "planes": planes,
+    }
+
+
+def breakdown_table(document: dict):
+    """ASCII tables for a :func:`profile_document` result.
+
+    Returns ``[per-category breakdown, data-passing share]`` as
+    :class:`~repro.experiments.harness.ExperimentTable` rows.
+    """
+    from repro.experiments.harness import ExperimentTable
+
+    breakdown = ExperimentTable(
+        name="critical-path blame breakdown",
+        columns=[
+            "plane", "category", "share_pct", "total_s",
+            "p50_ms", "p99_ms",
+        ],
+        notes=(
+            "Per-plane critical-path time by blame category; shares "
+            "sum to 100% of end-to-end latency by construction."
+        ),
+    )
+    share = ExperimentTable(
+        name="data-passing share of latency (Fig. 3 shape)",
+        columns=[
+            "plane", "requests", "p50_ms", "p99_ms", "data_passing_pct",
+        ],
+        notes="data-get + data-put + egress on the critical path.",
+    )
+    for plane, stats in document.get("planes", {}).items():
+        for category in CATEGORIES:
+            entry = stats["categories"].get(category)
+            if entry is None:
+                continue
+            breakdown.add(
+                plane=plane,
+                category=category,
+                share_pct=entry["share"] * 100.0,
+                total_s=entry["total_s"],
+                p50_ms=entry["p50_ms"],
+                p99_ms=entry["p99_ms"],
+            )
+        share.add(
+            plane=plane,
+            requests=stats["requests"],
+            p50_ms=stats["p50_ms"],
+            p99_ms=stats["p99_ms"],
+            data_passing_pct=stats["data_passing_share"] * 100.0,
+        )
+    return [breakdown, share]
+
+
+def critical_path_trace_events(
+    builders: dict[int, SpanTreeBuilder],
+    multi_run: Optional[bool] = None,
+) -> list[dict]:
+    """Chrome ``trace_event`` slices for every request's critical path.
+
+    One dedicated pid per run (``critical-path`` or
+    ``run<N>:critical-path`` when several runs share the trace), one
+    tid per request, one complete ("X") slice per segment named after
+    its blame category — so the gating chain reads left-to-right in
+    Perfetto alongside the regular spans.
+    """
+    if multi_run is None:
+        multi_run = len(builders) > 1
+    events: list[dict] = []
+    workflow_cache: dict[str, object] = {}
+    for run_index in sorted(builders):
+        builder = builders[run_index]
+        pid = (
+            f"run{run_index}:critical-path"
+            if multi_run
+            else "critical-path"
+        )
+        for tree in builder.completed:
+            if tree.workflow not in workflow_cache:
+                workflow_cache[tree.workflow] = _workflow_for(tree.workflow)
+            path = extract_critical_path(
+                tree, workflow_cache[tree.workflow]
+            )
+            if path is None:
+                continue
+            for segment in path.segments:
+                if segment.duration <= 0:
+                    continue
+                name = segment.category
+                if segment.stage:
+                    name = f"{segment.category}:{segment.stage}"
+                events.append({
+                    "name": name,
+                    "cat": "critical-path",
+                    "ph": "X",
+                    "ts": segment.start * 1e6,
+                    "dur": segment.duration * 1e6,
+                    "pid": pid,
+                    "tid": tree.request_id,
+                    "args": {"category": segment.category},
+                })
+    return events

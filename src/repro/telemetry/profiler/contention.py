@@ -1,0 +1,171 @@
+"""Link-contention attribution for transfer flows (paper §3.2.2).
+
+Splits every finished flow's wall time into *serialization* (the time
+its bytes take at the path's nominal bottleneck bandwidth — what the
+flow would pay alone) and *contention* (everything above that).  The
+contention is then attributed by name: for each bandwidth epoch the
+flow lived through, the shortfall bytes ``(nominal - granted) * dt``
+are charged to the co-resident flows sharing at least one link, in
+proportion to the bandwidth those flows were granted during the epoch.
+
+This is the observability counterpart of the asymmetric-NVLink story:
+on DGX-V100, a topology-blind route that relays over PCIe shares the
+source GPU's uplink with the host transfer it is supposed to
+accelerate, and the attribution names exactly which flow stole how
+much time from which.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.telemetry.profiler.spans import FlowRecord
+
+_EPS = 1e-12
+
+
+@dataclass
+class ContentionShare:
+    """How much one co-resident flow slowed the victim down."""
+
+    flow_id: int
+    owner: str
+    tag: str
+    shared_links: tuple[str, ...]
+    stolen_time: float = 0.0
+    stolen_bytes: float = 0.0
+
+
+@dataclass
+class FlowContention:
+    """Serialization/contention split of one finished flow."""
+
+    flow_id: int
+    owner: str
+    tag: str
+    serialization_time: float
+    contention_time: float
+    duration: float
+    shares: list[ContentionShare] = field(default_factory=list)
+
+
+def attribute_contention(
+    flows: dict[int, FlowRecord],
+) -> dict[int, FlowContention]:
+    """Per-flow contention attribution over a set of recorded flows.
+
+    Only finished flows with a known nominal bandwidth are analysed;
+    the rest are skipped (they cannot have a serialization baseline).
+    """
+    out: dict[int, FlowContention] = {}
+    finished = [
+        f
+        for f in flows.values()
+        if f.finished is not None and f.nominal_bw > _EPS
+    ]
+    for flow in finished:
+        serialization = flow.size / flow.nominal_bw
+        duration = flow.finished - flow.started
+        contention = max(0.0, duration - serialization)
+        record = FlowContention(
+            flow_id=flow.flow_id,
+            owner=flow.owner,
+            tag=flow.tag,
+            serialization_time=serialization,
+            contention_time=contention,
+            duration=duration,
+            shares=[],
+        )
+        out[flow.flow_id] = record
+        if contention <= _EPS:
+            continue
+        shares = _attribute_flow(flow, flows)
+        # Scale raw shortfall bytes onto the actual contention time so
+        # the named shares sum to (at most) the observed slowdown even
+        # when chunking/batch overheads inflate the raw estimate.
+        total_bytes = math.fsum(s.stolen_bytes for s in shares)
+        if total_bytes > _EPS:
+            for share in shares:
+                share.stolen_time = contention * (
+                    share.stolen_bytes / total_bytes
+                )
+        record.shares = sorted(
+            shares, key=lambda s: s.stolen_time, reverse=True
+        )
+    return out
+
+
+def _attribute_flow(
+    victim: FlowRecord, flows: dict[int, FlowRecord]
+) -> list[ContentionShare]:
+    """Distribute the victim's shortfall bytes over link-sharing flows."""
+    victim_links = set(victim.links)
+    suspects: dict[int, ContentionShare] = {}
+    neighbours: list[tuple[FlowRecord, tuple[str, ...]]] = []
+    for other in flows.values():
+        if other.flow_id == victim.flow_id:
+            continue
+        shared = victim_links.intersection(other.links)
+        if not shared:
+            continue
+        if other.finished is not None and other.finished <= victim.started:
+            continue
+        if other.started >= (victim.finished or other.started):
+            continue
+        neighbours.append((other, tuple(sorted(shared))))
+    if not neighbours:
+        return []
+
+    for t0, t1, rate in victim.epochs():
+        shortfall = max(0.0, (victim.nominal_bw - rate) * (t1 - t0))
+        if shortfall <= _EPS:
+            continue
+        # Co-resident during this epoch, weighted by their granted rate
+        # (they consumed the bandwidth the victim did not get).
+        active: list[tuple[FlowRecord, tuple[str, ...], float]] = []
+        for other, shared in neighbours:
+            o_end = other.finished if other.finished is not None else t1
+            if other.started >= t1 or o_end <= t0:
+                continue
+            weight = _mean_rate_over(other, t0, t1)
+            active.append((other, shared, weight))
+        if not active:
+            continue
+        total_weight = math.fsum(w for _o, _s, w in active)
+        for other, shared, weight in active:
+            fraction = (
+                weight / total_weight
+                if total_weight > _EPS
+                else 1.0 / len(active)
+            )
+            share = suspects.get(other.flow_id)
+            if share is None:
+                share = suspects[other.flow_id] = ContentionShare(
+                    flow_id=other.flow_id,
+                    owner=other.owner,
+                    tag=other.tag,
+                    shared_links=shared,
+                )
+            stolen = shortfall * fraction
+            share.stolen_bytes += stolen
+            if victim.nominal_bw > _EPS:
+                share.stolen_time += stolen / victim.nominal_bw
+    return list(suspects.values())
+
+
+def _mean_rate_over(flow: FlowRecord, t0: float, t1: float) -> float:
+    """Flow's average granted rate across ``[t0, t1]`` overlap."""
+    if t1 <= t0:
+        return 0.0
+    moved = 0.0
+    covered = 0.0
+    for e0, e1, rate in flow.epochs():
+        lo = max(e0, t0)
+        hi = min(e1, t1)
+        if hi > lo:
+            moved += rate * (hi - lo)
+            covered += hi - lo
+    if covered <= _EPS:
+        return 0.0
+    return moved / covered

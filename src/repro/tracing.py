@@ -26,13 +26,16 @@ KIND_GET = "get"
 KIND_COLD = "cold-start"
 KIND_EXEC = "exec"
 KIND_PUT = "put"
-KINDS = (KIND_QUEUE, KIND_GET, KIND_COLD, KIND_EXEC, KIND_PUT)
+KIND_EGRESS = "egress"
+KINDS = (KIND_QUEUE, KIND_GET, KIND_COLD, KIND_EXEC, KIND_PUT,
+         KIND_EGRESS)
 _GLYPHS = {
     KIND_QUEUE: ".",
     KIND_GET: "<",
     KIND_COLD: "c",
     KIND_EXEC: "#",
     KIND_PUT: ">",
+    KIND_EGRESS: "e",
 }
 
 

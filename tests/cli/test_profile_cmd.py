@@ -1,0 +1,101 @@
+"""Tests for the ``repro profile`` subcommand."""
+
+import json
+
+from repro.cli import build_parser, main
+from repro.sim import Environment
+from repro.telemetry.profiler import CATEGORIES, DATA_CATEGORIES
+
+
+class TestProfileCommand:
+    def test_parser_accepts_profile(self):
+        args = build_parser().parse_args(
+            ["profile", "fig14", "--quick", "--out", "p.json"]
+        )
+        assert args.command == "profile"
+        assert args.experiment == "fig14"
+        assert args.out == "p.json"
+
+    def test_unknown_experiment_fails(self, capsys):
+        code = main(["profile", "nope"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_profile_fig14_writes_exact_blame_document(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "profile.json"
+        code = main([
+            "profile", "fig14", "--quick", "--quiet", "--out", str(path),
+        ])
+        assert code == 0
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["generated_by"] == "repro profile"
+        assert doc["experiment"] == "fig14"
+        requests = [
+            r for run in doc["runs"] for r in run["requests"]
+        ]
+        assert requests
+        for request in requests:
+            assert request["exact"] is True
+            assert set(request["blame"]) <= set(CATEGORIES)
+            # The stored segments tile [arrived, finished] seamlessly.
+            segments = request["critical_path"]
+            assert segments[0]["start"] == request["arrived"]
+            assert segments[-1]["end"] == request["finished"]
+            for before, after in zip(segments, segments[1:]):
+                assert before["end"] == after["start"]
+        out = capsys.readouterr().out
+        assert "exact blame tiling" in out
+        assert "critical-path blame breakdown" in out
+        assert "data-passing share of latency" in out
+        # The capture hook must not leak past the command.
+        assert Environment.telemetry_hook is None
+
+    def test_profile_shows_the_papers_data_passing_gap(self, tmp_path):
+        # Fig. 3's qualitative story: the host-centric baseline spends
+        # the majority of its critical path moving data; GROUTER does
+        # not, and the per-plane shares expose exactly that.
+        path = tmp_path / "profile.json"
+        code = main([
+            "profile", "fig14", "--quick", "--quiet", "--out", str(path),
+        ])
+        assert code == 0
+        with open(path) as handle:
+            doc = json.load(handle)
+        planes = doc["planes"]
+        assert {"infless+", "grouter"} <= set(planes)
+        host = planes["infless+"]["data_passing_share"]
+        grouter = planes["grouter"]["data_passing_share"]
+        assert host > 0.5
+        assert grouter < host / 2
+        for stats in planes.values():
+            data_share = sum(
+                entry["share"]
+                for category, entry in stats["categories"].items()
+                if category in DATA_CATEGORIES
+            )
+            assert abs(data_share - stats["data_passing_share"]) < 1e-12
+
+
+class TestTraceCriticalPathTrack:
+    def test_trace_includes_critical_path_pid(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main([
+            "trace", "fig14", "--quick", "--quiet", "--out", str(path),
+        ])
+        assert code == 0
+        with open(path) as handle:
+            doc = json.load(handle)
+        critical = [
+            e for e in doc["traceEvents"]
+            if e.get("cat") == "critical-path"
+        ]
+        assert critical
+        # fig14 captures several runs, so the track is run-prefixed.
+        assert all(e["pid"].endswith("critical-path") for e in critical)
+        assert all(e["ph"] == "X" for e in critical)
+        categories = {e["args"]["category"] for e in critical}
+        assert "compute" in categories
+        assert capsys.readouterr().out.count("critical-path")

@@ -1,0 +1,127 @@
+"""Contention attribution: who stole bandwidth from whom (§3.2.2)."""
+
+import pytest
+
+from repro.net import FlowNetwork, Link, LinkKind
+from repro.sim import Environment
+from repro.telemetry import EventBus
+from repro.telemetry.profiler import (
+    FlowRecord,
+    SpanTreeBuilder,
+    attribute_contention,
+)
+
+
+def record(flow_id, links, start, finish, rates, size=1000.0,
+           nominal=100.0, owner="", tag=""):
+    return FlowRecord(
+        flow_id=flow_id, tag=tag, owner=owner, links=tuple(links),
+        size=size, nominal_bw=nominal, started=start, finished=finish,
+        rate_points=list(rates),
+    )
+
+
+class TestTwoFlowSharedLink:
+    def flows(self):
+        # Two equal flows fair-share a 100 B/s link: each runs at 50,
+        # takes 20 s for a 10 s serialization job.
+        return {
+            1: record(1, ["l0"], 0.0, 20.0, [(0.0, 50.0)], owner="ra"),
+            2: record(2, ["l0"], 0.0, 20.0, [(0.0, 50.0)], owner="rb"),
+        }
+
+    def test_serialization_contention_split(self):
+        result = attribute_contention(self.flows())
+        for contention in result.values():
+            assert contention.serialization_time == pytest.approx(10.0)
+            assert contention.contention_time == pytest.approx(10.0)
+            assert contention.duration == pytest.approx(20.0)
+
+    def test_blame_names_the_other_flow_exactly(self):
+        result = attribute_contention(self.flows())
+        share = result[1].shares[0]
+        assert [s.flow_id for s in result[1].shares] == [2]
+        assert share.owner == "rb"
+        assert share.shared_links == ("l0",)
+        # Rescaled shares tile the whole observed contention time.
+        assert share.stolen_time == pytest.approx(
+            result[1].contention_time
+        )
+
+    def test_uncontended_flow_has_no_shares(self):
+        flows = {
+            1: record(1, ["l0"], 0.0, 10.0, [(0.0, 100.0)]),
+        }
+        result = attribute_contention(flows)
+        assert result[1].contention_time == pytest.approx(0.0)
+        assert result[1].shares == []
+
+    def test_disjoint_links_are_never_blamed(self):
+        flows = {
+            1: record(1, ["l0"], 0.0, 20.0, [(0.0, 50.0)]),
+            2: record(2, ["l1"], 0.0, 20.0, [(0.0, 50.0)]),
+        }
+        result = attribute_contention(flows)
+        assert result[1].shares == []
+
+    def test_non_overlapping_time_windows_are_never_blamed(self):
+        flows = {
+            1: record(1, ["l0"], 0.0, 12.0, [(0.0, 100.0)]),
+            2: record(2, ["l0"], 12.0, 24.0, [(12.0, 100.0)]),
+        }
+        result = attribute_contention(flows)
+        assert result[1].shares == []
+        assert result[2].shares == []
+
+    def test_unfinished_and_nominal_less_flows_skipped(self):
+        flows = {
+            1: record(1, ["l0"], 0.0, None, [(0.0, 50.0)]),
+            2: record(2, ["l0"], 0.0, 20.0, [(0.0, 50.0)], nominal=0.0),
+        }
+        assert attribute_contention(flows) == {}
+
+    def test_shortfall_split_by_granted_rate(self):
+        # Victim at 20 of 100 nominal; thieves granted 60 and 20 —
+        # blame follows the granted-rate ratio 3:1.
+        flows = {
+            1: record(1, ["l0"], 0.0, 50.0, [(0.0, 20.0)]),
+            2: record(2, ["l0"], 0.0, 50.0, [(0.0, 60.0)], owner="big"),
+            3: record(3, ["l0"], 0.0, 50.0, [(0.0, 20.0)], owner="small"),
+        }
+        result = attribute_contention(flows)
+        shares = {s.owner: s for s in result[1].shares}
+        assert shares["big"].stolen_time == pytest.approx(
+            3 * shares["small"].stolen_time
+        )
+        total = sum(s.stolen_time for s in result[1].shares)
+        assert total == pytest.approx(result[1].contention_time)
+
+
+class TestAgainstRealFlowNetwork:
+    """End to end: simulate two flows on one link, profile the stream."""
+
+    def run_shared_link(self):
+        env = Environment()
+        env.telemetry = EventBus()
+        builder = SpanTreeBuilder().attach(env.telemetry)
+        net = FlowNetwork(env)
+        link = Link(link_id="l0", src="a", dst="b", capacity=100.0,
+                    kind=LinkKind.NVLINK)
+        net.start_flow([link], size=1000.0, tag="victim", owner="ra")
+        net.start_flow([link], size=1000.0, tag="thief", owner="rb")
+        env.run()
+        return attribute_contention(builder.flows)
+
+    def test_fair_share_slowdown_fully_attributed(self):
+        result = self.run_shared_link()
+        assert len(result) == 2
+        for contention in result.values():
+            assert contention.serialization_time == pytest.approx(10.0)
+            assert contention.contention_time == pytest.approx(10.0)
+            assert len(contention.shares) == 1
+            assert contention.shares[0].stolen_time == pytest.approx(
+                contention.contention_time
+            )
+        owners = {c.owner: c for c in result.values()}
+        assert owners["ra"].shares[0].owner == "rb"
+        assert owners["rb"].shares[0].owner == "ra"

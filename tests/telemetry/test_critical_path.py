@@ -1,0 +1,164 @@
+"""Critical-path extraction: exact tiling and gating-predecessor choice."""
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.telemetry.profiler import (
+    DATA_CATEGORIES,
+    RequestTree,
+    Span,
+    extract_critical_path,
+)
+
+
+class FakeWorkflow:
+    """Just enough DAG surface for the extractor: preds + exits."""
+
+    def __init__(self, edges, exits):
+        self._preds = {}
+        names = set(exits)
+        for src, dst in edges:
+            names.update((src, dst))
+            self._preds.setdefault(dst, []).append(src)
+        for name in names:
+            self._preds.setdefault(name, [])
+        self._exits = exits
+
+    def predecessors(self, name):
+        return list(self._preds[name])
+
+    @property
+    def exit_stages(self):
+        return [SimpleNamespace(name=n) for n in self._exits]
+
+
+def block(stage, t0, queue=0.0, get=0.0, exec_=0.0, put=0.0):
+    """A contiguous queue/get/exec/put span block starting at *t0*."""
+    spans, clock = [], t0
+    for kind, width in (("queue", queue), ("get", get),
+                        ("exec", exec_), ("put", put)):
+        if width > 0:
+            spans.append(Span(kind=kind, start=clock, end=clock + width,
+                              stage=stage))
+            clock += width
+    return spans, clock
+
+
+def chain_tree():
+    """arrive 0.0 -> A[0.1..0.6] -> egress[0.6..0.7] -> finish 0.7."""
+    spans, end = block("A", 0.1, queue=0.1, get=0.1, exec_=0.2, put=0.1)
+    return RequestTree(
+        request_id="r0", workflow="w", arrived=0.0, finished=0.7,
+        latency=0.7, slo_met=True,
+        stage_spans={"A": spans},
+        egress_spans=[Span(kind="egress", start=end, end=0.7, stage="A")],
+    )
+
+
+class TestChain:
+    def test_tiles_exactly_and_sums_to_latency(self):
+        path = extract_critical_path(chain_tree())
+        assert path.verify(0.7)
+        assert [s.category for s in path.segments] == [
+            "admission", "queue", "data-get", "compute", "data-put",
+            "egress",
+        ]
+        assert math.fsum(path.blame.values()) == path.total
+
+    def test_blame_categories(self):
+        path = extract_critical_path(chain_tree())
+        blame = path.blame
+        assert blame["admission"] == pytest.approx(0.1)
+        assert blame["compute"] == pytest.approx(0.2)
+        assert path.data_passing_time == math.fsum(
+            blame[c] for c in DATA_CATEGORIES if c in blame
+        )
+
+    def test_unfinished_request_yields_none(self):
+        tree = chain_tree()
+        tree.finished = None
+        assert extract_critical_path(tree) is None
+
+    def test_verify_rejects_wrong_latency(self):
+        path = extract_critical_path(chain_tree())
+        assert not path.verify(0.8)
+
+    def test_unspanned_slack_becomes_other(self):
+        # A gap between get and exec inside the block (control-plane
+        # floor) must surface as "other", never vanish.
+        spans = [
+            Span(kind="get", start=0.0, end=0.1, stage="A"),
+            Span(kind="exec", start=0.3, end=0.5, stage="A"),
+        ]
+        tree = RequestTree(
+            request_id="r0", workflow="w", arrived=0.0, finished=0.5,
+            latency=0.5, slo_met=True, stage_spans={"A": spans},
+        )
+        path = extract_critical_path(tree)
+        assert path.verify(0.5)
+        assert path.blame["other"] == pytest.approx(0.2)
+
+
+class TestDiamond:
+    # A -> {B, C} -> D; C finishes after B, so C gates D.
+    WORKFLOW = FakeWorkflow(
+        edges=[("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")],
+        exits=["D"],
+    )
+
+    def diamond_tree(self):
+        a, a_end = block("A", 0.0, exec_=0.2)
+        b, _ = block("B", a_end, exec_=0.3)
+        c, c_end = block("C", a_end, exec_=0.8)
+        d, d_end = block("D", c_end + 0.1, exec_=0.2)
+        return RequestTree(
+            request_id="r0", workflow="w", arrived=0.0, finished=d_end,
+            latency=d_end, slo_met=True,
+            stage_spans={"A": a, "B": b, "C": c, "D": d},
+        )
+
+    def test_walk_follows_the_gating_branch(self):
+        tree = self.diamond_tree()
+        path = extract_critical_path(tree, self.WORKFLOW)
+        assert path.verify(tree.latency)
+        stages = [s.stage for s in path.segments if s.stage]
+        assert "C" in stages
+        assert "B" not in stages
+
+    def test_join_delay_blamed_as_stage_wait(self):
+        # The gap between C's output and D's first span is the join +
+        # dispatch delay; it is labelled with the gating producer (C).
+        path = extract_critical_path(self.diamond_tree(), self.WORKFLOW)
+        waits = [s for s in path.segments if s.category == "stage-wait"]
+        assert len(waits) == 1
+        assert waits[0].stage == "C"
+        assert waits[0].duration == pytest.approx(0.1)
+
+    def test_timing_fallback_matches_dag_walk(self):
+        tree = self.diamond_tree()
+        with_dag = extract_critical_path(tree, self.WORKFLOW)
+        without = extract_critical_path(tree, None)
+        assert without.verify(tree.latency)
+        assert with_dag.blame == without.blame
+
+
+class TestSkippedBranch:
+    def test_skipped_exit_resolves_to_executed_ancestor(self):
+        # A -> B -> C (exit); the conditional branch skipped C, so the
+        # egress was gated by B's output.
+        workflow = FakeWorkflow(
+            edges=[("A", "B"), ("B", "C")], exits=["C"],
+        )
+        a, a_end = block("A", 0.1, exec_=0.2)
+        b, b_end = block("B", a_end, exec_=0.3)
+        tree = RequestTree(
+            request_id="r0", workflow="w", arrived=0.0, finished=b_end,
+            latency=b_end, slo_met=True,
+            stage_spans={"A": a, "B": b},
+        )
+        path = extract_critical_path(tree, workflow)
+        assert path.verify(tree.latency)
+        stages = {s.stage for s in path.segments if s.stage}
+        assert stages == {"A", "B"}

@@ -77,3 +77,83 @@ class TestEventBus:
         event = flow_started()
         with pytest.raises(AttributeError):
             event.size = 2048.0
+
+
+class TestPublishReentrancy:
+    """A subscriber may mutate the subscription lists mid-publish."""
+
+    def test_callback_unsubscribes_itself_typed(self):
+        bus = EventBus()
+        got = []
+
+        def once(event):
+            got.append(event)
+            bus.unsubscribe(FlowStarted, once)
+
+        bus.subscribe(FlowStarted, once)
+        bus.publish(flow_started())
+        bus.publish(flow_started())
+        assert len(got) == 1
+        assert bus.subscriber_count == 0
+
+    def test_callback_unsubscribes_itself_wildcard(self):
+        bus = EventBus()
+        got = []
+
+        def once(event):
+            got.append(event)
+            bus.unsubscribe(None, once)
+
+        bus.subscribe(None, once)
+        bus.publish(flow_started())
+        bus.publish(store_put())
+        assert len(got) == 1
+
+    def test_callback_unsubscribes_a_later_callback(self):
+        # The removed callback still sees the in-flight event (snapshot
+        # semantics) but not the next one.
+        bus = EventBus()
+        later_got = []
+
+        def later(event):
+            later_got.append(event)
+
+        def remover(event):
+            bus.unsubscribe(FlowStarted, later)
+
+        bus.subscribe(FlowStarted, remover)
+        bus.subscribe(FlowStarted, later)
+        bus.publish(flow_started())
+        bus.publish(flow_started())
+        assert len(later_got) == 1
+
+    def test_callback_subscribes_a_new_callback(self):
+        # A subscriber added mid-publish first sees the *next* event.
+        bus = EventBus()
+        new_got = []
+
+        def adder(event):
+            if not new_got:
+                bus.subscribe(FlowStarted, new_got.append)
+
+        bus.subscribe(FlowStarted, adder)
+        bus.publish(flow_started())
+        assert new_got == []
+        bus.publish(flow_started())
+        assert len(new_got) == 1
+
+    def test_every_subscriber_still_sees_the_inflight_event(self):
+        # Self-removal by an early callback must not skip later ones
+        # (list.remove during iteration would have).
+        bus = EventBus()
+        order = []
+
+        def first(event):
+            order.append("first")
+            bus.unsubscribe(FlowStarted, first)
+
+        bus.subscribe(FlowStarted, first)
+        bus.subscribe(FlowStarted, lambda e: order.append("second"))
+        bus.subscribe(FlowStarted, lambda e: order.append("third"))
+        bus.publish(flow_started())
+        assert order == ["first", "second", "third"]

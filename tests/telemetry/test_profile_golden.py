@@ -1,0 +1,71 @@
+"""Bit-stable golden for the ``repro profile`` document.
+
+A short seeded grouter run must produce the exact same profile document
+— every float compared via ``float.hex()``, so any drift in simulation
+timing, span publication, critical-path extraction, or contention
+attribution shows up as a diff rather than an invisible epsilon.
+
+Regenerate after an intentional behaviour change with::
+
+    PYTHONPATH=src python tests/telemetry/test_profile_golden.py
+"""
+
+import json
+import os
+
+GOLDEN = os.path.join(
+    os.path.dirname(__file__), "golden", "profile_seed.json"
+)
+
+
+def hexify(value):
+    """Recursively replace floats with their exact hex spelling."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, list):
+        return [hexify(v) for v in value]
+    if isinstance(value, dict):
+        return {key: hexify(v) for key, v in value.items()}
+    return value
+
+
+def build_document():
+    from repro.experiments.harness import run_workload_on_plane
+    from repro.telemetry import capture
+    from repro.telemetry.profiler import build_profiles, profile_document
+
+    with capture() as session:
+        run_workload_on_plane(
+            "grouter", "driving", duration=4.0, rate=4.0, seed=0,
+        )
+    builders = build_profiles(session.events)
+    return profile_document(builders, experiment="golden")
+
+
+class TestProfileGolden:
+    def test_document_matches_golden_bit_for_bit(self):
+        document = hexify(build_document())
+        with open(GOLDEN) as handle:
+            golden = json.load(handle)
+        assert document == golden
+
+    def test_golden_run_is_nontrivial(self):
+        with open(GOLDEN) as handle:
+            golden = json.load(handle)
+        requests = golden["runs"][0]["requests"]
+        assert len(requests) >= 3
+        assert all(r["exact"] is True for r in requests)
+        plane = golden["planes"]["grouter"]
+        assert plane["data_passing_share"] != 0.0
+        assert "compute" in plane["categories"]
+
+
+if __name__ == "__main__":
+    os.makedirs(os.path.dirname(GOLDEN), exist_ok=True)
+    with open(GOLDEN, "w") as handle:
+        json.dump(hexify(build_document()), handle, indent=1,
+                  sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN}")

@@ -1,0 +1,170 @@
+"""Span-tree assembly from telemetry event streams."""
+
+from repro.telemetry import EventBus
+from repro.telemetry.events import (
+    FlowFinished,
+    FlowsReallocated,
+    FlowStarted,
+    PlaneInfo,
+    PoolAlloc,
+    RequestArrived,
+    RequestFinished,
+    StageSpan,
+    TransferFinished,
+    TransferStarted,
+)
+from repro.telemetry.profiler import (
+    FlowRecord,
+    SpanTreeBuilder,
+    build_profiles,
+)
+
+
+def request_stream(rid="r0", t0=0.0):
+    """One request: arrival, a two-kind stage block, egress, finish."""
+    return [
+        RequestArrived(t=t0, request_id=rid, workflow="driving"),
+        StageSpan(t=t0 + 0.2, request_id=rid, stage="detect", kind="get",
+                  start=t0 + 0.1, end=t0 + 0.2, device_id="n0.g0",
+                  replica="detect#0"),
+        StageSpan(t=t0 + 0.5, request_id=rid, stage="detect", kind="exec",
+                  start=t0 + 0.2, end=t0 + 0.5, device_id="n0.g0",
+                  replica="detect#0"),
+        StageSpan(t=t0 + 0.6, request_id=rid, stage="detect", kind="egress",
+                  start=t0 + 0.5, end=t0 + 0.6, device_id="n0.c0"),
+        RequestFinished(t=t0 + 0.6, request_id=rid, workflow="driving",
+                        latency=0.6, slo_met=True),
+    ]
+
+
+class TestSpanTreeBuilder:
+    def test_assembles_request_tree(self):
+        builder = SpanTreeBuilder()
+        for event in request_stream():
+            builder.feed(event)
+        tree = builder.requests["r0"]
+        assert tree.complete
+        assert tree.workflow == "driving"
+        assert tree.latency == 0.6
+        assert tree.slo_met is True
+        assert [s.kind for s in tree.stage_spans["detect"]] == [
+            "get", "exec"
+        ]
+        assert tree.stage_spans["detect"][0].replica == "detect#0"
+        assert len(tree.egress_spans) == 1
+        assert builder.completed == [tree]
+
+    def test_egress_spans_kept_out_of_stage_blocks(self):
+        builder = SpanTreeBuilder()
+        for event in request_stream():
+            builder.feed(event)
+        tree = builder.requests["r0"]
+        kinds = {s.kind for spans in tree.stage_spans.values()
+                 for s in spans}
+        assert "egress" not in kinds
+
+    def test_spans_for_unknown_request_are_dropped(self):
+        builder = SpanTreeBuilder()
+        builder.feed(StageSpan(t=1.0, request_id="ghost", stage="s",
+                               kind="exec", start=0.0, end=1.0,
+                               device_id="n0.g0"))
+        assert builder.requests == {}
+
+    def test_flow_ownership_and_rate_history(self):
+        builder = SpanTreeBuilder()
+        builder.feed(RequestArrived(t=0.0, request_id="r0",
+                                    workflow="driving"))
+        builder.feed(FlowStarted(
+            t=0.0, flow_id=7, tag="gfn-gfn-intra", size=100.0,
+            links=("l0",), src="a", dst="b", nominal_bw=100.0, owner="r0",
+        ))
+        builder.feed(FlowsReallocated(
+            t=0.0, trigger="start", flow_id=7, component=(7,),
+            links=("l0",), rescheduled=(7,), rates=(100.0,),
+        ))
+        builder.feed(FlowsReallocated(
+            t=0.5, trigger="start", flow_id=8, component=(7,),
+            links=("l0",), rescheduled=(7,), rates=(50.0,),
+        ))
+        builder.feed(FlowFinished(
+            t=1.5, flow_id=7, tag="gfn-gfn-intra", size=100.0,
+            links=("l0",), src="a", dst="b", started_at=0.0, owner="r0",
+        ))
+        record = builder.flows[7]
+        assert builder.requests["r0"].flow_ids == [7]
+        assert record.epochs() == [(0.0, 0.5, 100.0), (0.5, 1.5, 50.0)]
+
+    def test_same_time_rate_point_overwrites_previous(self):
+        # A flow start triggers a reallocation at the same instant the
+        # flow got its provisional rate: the later value wins, no
+        # zero-width epoch survives.
+        record = FlowRecord(
+            flow_id=1, tag="", owner="", links=("l0",), size=10.0,
+            nominal_bw=10.0, started=0.0, finished=1.0,
+            rate_points=[(0.0, 10.0)],
+        )
+        record.rate_points.append((0.0, 5.0))
+        builder = SpanTreeBuilder()
+        builder.flows[1] = record
+        builder.feed(FlowsReallocated(
+            t=0.0, trigger="start", flow_id=2, component=(1,),
+            links=("l0",), rescheduled=(1,), rates=(2.0,),
+        ))
+        assert record.rate_points[-1] == (0.0, 2.0)
+        assert record.epochs() == [(0.0, 1.0, 2.0)]
+
+    def test_transfers_paired_by_id(self):
+        builder = SpanTreeBuilder()
+        builder.feed(RequestArrived(t=0.0, request_id="r0",
+                                    workflow="driving"))
+        builder.feed(TransferStarted(
+            t=0.1, transfer_id=3, tag="gfn-host", size=8.0, src="a",
+            dst="b", num_paths=1, owner="r0",
+        ))
+        builder.feed(TransferFinished(
+            t=0.4, transfer_id=3, tag="gfn-host", size=8.0, src="a",
+            dst="b", started_at=0.1, owner="r0",
+        ))
+        transfer = builder.requests["r0"].transfers[0]
+        assert transfer.start == 0.1
+        assert transfer.end == 0.4
+        assert transfer.duration == 0.30000000000000004
+
+    def test_pool_waits_and_plane_info(self):
+        builder = SpanTreeBuilder()
+        builder.feed(PlaneInfo(t=0.0, plane="grouter"))
+        builder.feed(PoolAlloc(
+            t=0.75, device_id="n0.g0", size=16.0, reserved=32.0,
+            in_use=16.0, grew=True, requested_at=0.5,
+        ))
+        assert builder.plane == "grouter"
+        wait = builder.pool_waits[0]
+        assert wait.delay == 0.25
+        assert wait.grew is True
+
+    def test_attach_and_detach_on_live_bus(self):
+        bus = EventBus()
+        builder = SpanTreeBuilder().attach(bus)
+        for event in request_stream():
+            bus.publish(event)
+        builder.detach()
+        bus.publish(RequestArrived(t=9.0, request_id="late",
+                                   workflow="driving"))
+        assert "r0" in builder.requests
+        assert "late" not in builder.requests
+
+
+class TestBuildProfiles:
+    def test_run_tagged_stream_splits_into_builders(self):
+        events = [(0, e) for e in request_stream("r0")]
+        events += [(1, e) for e in request_stream("r1", t0=5.0)]
+        builders = build_profiles(events)
+        assert sorted(builders) == [0, 1]
+        assert "r0" in builders[0].requests
+        assert "r1" in builders[1].requests
+        assert "r1" not in builders[0].requests
+
+    def test_plain_events_land_in_run_zero(self):
+        builders = build_profiles(request_stream())
+        assert list(builders) == [0]
+        assert builders[0].requests["r0"].complete
