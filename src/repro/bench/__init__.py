@@ -7,6 +7,7 @@ from repro.bench.netflow import (
     bench_fanin_hotspot,
     bench_flow_churn,
     bench_multipath_chunk_storm,
+    bench_transfer_storm,
     format_summary,
     run_benchmarks,
     write_results,
@@ -34,6 +35,7 @@ __all__ = [
     "bench_fanin_hotspot",
     "bench_flow_churn",
     "bench_multipath_chunk_storm",
+    "bench_transfer_storm",
     "bench_request_churn",
     "format_platform_summary",
     "format_summary",

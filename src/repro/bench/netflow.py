@@ -20,6 +20,13 @@ flows):
     Chunk-batched :class:`~repro.net.transfer.TransferEngine` transfers
     over two-hop parallel paths in disjoint groups — the paper's 2 MB
     chunk / 5-chunk batch shape, one flow per batch per path.
+``transfer_storm``
+    Concurrent large chunked transfers on disjoint links, run once in
+    ``coalesced`` mode and once in ``per_batch`` mode.  Both modes are
+    charged the same *logical* batch events (what batch granularity
+    means semantically), so events/sec measures how cheaply each mode
+    delivers identical observable behaviour — the steady-state
+    coalescing headline.
 
 Each scenario runs once per allocator and reports wall-clock, flow
 events per second (starts + finishes), reallocation count, and mean
@@ -31,6 +38,7 @@ speedups and :func:`write_results` records everything in
 from __future__ import annotations
 
 import json
+import math
 import platform
 import time
 from typing import Callable, Optional, Sequence
@@ -128,6 +136,14 @@ def bench_fanin_hotspot(
     start = time.perf_counter()
     env.run()
     wall = time.perf_counter() - start
+    if allocator == "incremental":
+        # The completion-time elision predicate must actually fire on
+        # the fully contended case (it was dead — exact float equality
+        # on the raw rate — until it compared against the armed timer).
+        assert net.timer_elisions > 0, (
+            "timer elision never fired under fanin_hotspot "
+            f"({net.timer_reschedules} reschedules)"
+        )
     return _result(
         "fanin_hotspot", allocator, net, env, 2 * completed, wall,
         {"flows": flows, "rounds": rounds},
@@ -191,6 +207,83 @@ def bench_multipath_chunk_storm(
     )
 
 
+def bench_transfer_storm(
+    allocator: str,
+    transfers: int = 8,
+    rounds: int = 3,
+    transfer_mb: int = 1024,
+) -> dict:
+    """Coalesced vs per-batch on quiescent large chunked transfers.
+
+    Each of *transfers* disjoint links carries *rounds* back-to-back
+    transfers of *transfer_mb*.  Nothing ever disturbs a link's
+    component, so ``coalesced`` mode collapses every transfer into one
+    macro-flow (O(1) DES events) while ``per_batch`` pays the full
+    O(size/batch) loop.  Both runs are charged the same *logical*
+    batch-event count, so events/sec compares the cost of delivering
+    identical observable behaviour.  The returned record is the
+    coalesced run, with the per-batch run nested under ``"per_batch"``
+    and the headline ratio under ``"coalesced_speedup_over_per_batch"``.
+
+    With the ``legacy`` allocator the engine never coalesces (it
+    predates components), so both runs take the per-batch path and the
+    ratio hovers around 1x — kept as a baseline record only.
+    """
+    def run_mode(mode: str) -> dict:
+        env = Environment()
+        net = FlowNetwork(env, allocator=allocator)
+        engine = TransferEngine(env, net, mode=mode)
+        paths = [
+            Path((Link(link_id=f"storm.l{i}", src=f"s{i}", dst=f"h{i}",
+                       capacity=16 * 1024 * MB, kind=LinkKind.PCIE),))
+            for i in range(transfers)
+        ]
+        completed = 0
+
+        def driver(i: int):
+            nonlocal completed
+            for r in range(rounds):
+                result = yield engine.transfer(
+                    [paths[i]], transfer_mb * MB, tag=f"storm.t{i}.{r}"
+                )
+                assert result.size == transfer_mb * MB
+                completed += 1
+
+        for i in range(transfers):
+            env.process(driver(i))
+        start = time.perf_counter()
+        env.run()
+        wall = time.perf_counter() - start
+        assert completed == transfers * rounds
+        batch_bytes = engine.chunk_size * engine.batch_chunks
+        batches = transfers * rounds * math.ceil(transfer_mb * MB / batch_bytes)
+        record = _result(
+            "transfer_storm", allocator, net, env, 2 * batches, wall,
+            {"transfers": transfers, "rounds": rounds,
+             "transfer_mb": transfer_mb},
+        )
+        record["transfer_mode"] = mode
+        record["flows_started"] = net.flows_started
+        return record
+
+    record = run_mode("coalesced")
+    per_batch = run_mode("per_batch")
+    assert record["sim_time"] == per_batch["sim_time"], (
+        "coalesced changed observable timing: "
+        f"{record['sim_time']} != {per_batch['sim_time']}"
+    )
+    record["per_batch"] = per_batch
+    record["coalesced_speedup_over_per_batch"] = (
+        record["events_per_sec"] / per_batch["events_per_sec"]
+    )
+    if allocator != "legacy" and transfer_mb >= 1024:
+        assert record["coalesced_speedup_over_per_batch"] >= 2.0, (
+            "coalescing below the 2x floor at 1 GB: "
+            f"{record['coalesced_speedup_over_per_batch']:.2f}x"
+        )
+    return record
+
+
 BenchFn = Callable[..., dict]
 
 BENCHMARKS: dict[str, tuple[BenchFn, dict, dict]] = {
@@ -209,6 +302,11 @@ BENCHMARKS: dict[str, tuple[BenchFn, dict, dict]] = {
         bench_multipath_chunk_storm,
         {"groups": 16, "transfers_per_group": 4, "transfer_mb": 24},
         {"groups": 4, "transfers_per_group": 2, "transfer_mb": 8},
+    ),
+    "transfer_storm": (
+        bench_transfer_storm,
+        {"transfers": 8, "rounds": 3, "transfer_mb": 1024},
+        {"transfers": 4, "rounds": 2, "transfer_mb": 64},
     ),
 }
 
@@ -274,6 +372,13 @@ def format_summary(document: dict) -> str:
             f"{run['events_per_sec']:>12.0f} {run['wall_s']:>9.3f} "
             f"{run['realloc_count']:>9} {run['mean_component_size']:>10.1f}"
         )
+    for run in document["benchmarks"]:
+        ratio = run.get("coalesced_speedup_over_per_batch")
+        if ratio is not None:
+            lines.append(
+                f"coalesce[{run['name']}/{run['allocator']}] = {ratio:.2f}x "
+                "(events/sec, coalesced over per_batch)"
+            )
     for name, speedup in document["speedup_incremental_over_legacy"].items():
         lines.append(f"speedup[{name}] = {speedup:.2f}x (events/sec, "
                      "incremental over legacy)")

@@ -2,11 +2,12 @@
 
 from repro.net.links import Link, LinkKind
 from repro.net.monitor import LinkUtilizationMonitor
-from repro.net.network import Flow, FlowNetwork, FlowStats
+from repro.net.network import Flow, FlowNetwork, FlowStats, MacroOutcome
 from repro.net.transfer import (
     DEFAULT_BATCH_CHUNKS,
     DEFAULT_BATCH_SETUP,
     DEFAULT_CHUNK_SIZE,
+    TRANSFER_MODES,
     Path,
     TransferEngine,
     TransferResult,
@@ -20,9 +21,11 @@ __all__ = [
     "Flow",
     "FlowNetwork",
     "FlowStats",
+    "MacroOutcome",
     "DEFAULT_BATCH_CHUNKS",
     "DEFAULT_BATCH_SETUP",
     "DEFAULT_CHUNK_SIZE",
+    "TRANSFER_MODES",
     "Path",
     "TransferEngine",
     "TransferResult",

@@ -80,6 +80,27 @@ class FlowStats:
 class Flow:
     """A single in-flight transfer over a fixed link path."""
 
+    __slots__ = (
+        "flow_id",
+        "path",
+        "size",
+        "remaining",
+        "min_rate",
+        "rate_cap",
+        "slo_deadline",
+        "tag",
+        "owner",
+        "rate",
+        "started_at",
+        "arrival_order",
+        "done",
+        "macro_outcome",
+        "_last_update",
+        "_timer",
+        "_timer_at",
+        "_macro",
+    )
+
     _ids = itertools.count()
 
     def __init__(
@@ -110,9 +131,20 @@ class Flow:
         self.owner = owner
         self.rate = 0.0
         self.started_at = env.now
+        # Logical arrival instant used for ordering guarantees
+        # (admission-order reservations, SLO tie-breaks).  Equals
+        # ``started_at`` for ordinary flows; a macro-flow converted
+        # back into its current batch inherits the batch's virtual
+        # start so it sorts exactly where the per-batch flow would.
+        self.arrival_order = self.started_at
         self.done: Event = env.event()
+        # Set by the network on macro-flow resolution; the transfer
+        # engine reads it after ``done`` to continue the batch loop.
+        self.macro_outcome: Optional["MacroOutcome"] = None
         self._last_update = env.now
         self._timer: Optional[ScheduledCall] = None
+        self._timer_at = 0.0
+        self._macro: Optional[_MacroState] = None
 
     def __repr__(self) -> str:
         return (
@@ -121,13 +153,106 @@ class Flow:
         )
 
 
-@dataclass
+def _flow_order(flow: Flow) -> tuple[float, int]:
+    """Deterministic allocation order: arrival instant, then id.
+
+    For ordinary flows this is exactly flow_id order (ids are handed
+    out monotonically in simulation time); converted macro-flows carry
+    their current batch's virtual start so they keep the position the
+    equivalent per-batch flow would have had.
+    """
+    return (flow.arrival_order, flow.flow_id)
+
+
+@dataclass(slots=True)
 class _LinkState:
     link: Link
     # flow_id -> Flow.  Insertion-ordered: flows attach in flow_id
     # order, so iteration is deterministic without sorting.
     flows: dict = field(default_factory=dict)
     bytes_carried: float = 0.0
+
+
+@dataclass(slots=True)
+class MacroOutcome:
+    """How a macro-flow resolved; read by the transfer engine.
+
+    ``kind``:
+
+    ``"completed"``
+        All coalesced batches drained undisturbed.
+    ``"converted"``
+        A flow arrival touched the macro's component mid-batch; the
+        macro mutated into its current per-batch flow and ``done``
+        fired at that batch's boundary.
+    ``"setup"``
+        The split landed inside a batch-setup window (the per-batch
+        world has no flow in flight there); the engine resumes at
+        ``resume_at`` and sends ``block`` without repeating the setup
+        delay it already spent virtually.
+    ``"truncated"``
+        Pinned-buffer contention cut the macro at the current batch
+        boundary; ``done`` fired there.
+    """
+
+    kind: str
+    rem_before: float = 0.0  # engine-loop `remaining` entering the boundary batch
+    block: float = 0.0  # boundary batch size in bytes
+    resume_at: float = 0.0  # kind == "setup": the virtual batch-start instant
+
+
+@dataclass(slots=True)
+class _MacroBatch:
+    """One virtual per-batch flow inside a macro-flow's schedule.
+
+    Every float here is produced by replaying the exact arithmetic the
+    per-batch path would execute (setup add, allocator rate, ``s +
+    b/rate`` completion), so splits and telemetry decomposition are
+    bit-identical to the batch-granular world.
+    """
+
+    w: float  # setup begins (engine loop reaches the batch)
+    s: float  # batch flow starts (w + batch_setup)
+    f: float  # batch flow finishes (s + b / rate)
+    b: float  # batch size in bytes
+    rem_before: float  # engine-loop remaining entering this batch
+    rate: float  # allocator rate for the lone batch flow
+
+
+class _MacroState:
+    """Mutable bookkeeping for an in-flight macro-flow."""
+
+    __slots__ = (
+        "entries",
+        "index",
+        "cur_rem",
+        "cur_last",
+        "pinned_hold",
+        "pinned_refund",
+        "published",
+        "truncate_at",
+    )
+
+    def __init__(
+        self,
+        entries: list[_MacroBatch],
+        pinned_hold: float,
+        pinned_refund,
+    ) -> None:
+        self.entries = entries
+        # Virtual replica of the current per-batch flow's lazy-advance
+        # state: batch index, its remaining bytes, last advance instant.
+        self.index = 0
+        self.cur_rem = entries[0].b
+        self.cur_last = entries[0].s
+        # Pinned-pool claim held on the engine's behalf, and the
+        # callback that returns surplus bytes to the pool on a split.
+        self.pinned_hold = pinned_hold
+        self.pinned_refund = pinned_refund
+        # Virtual batches already emitted to telemetry (prefix length).
+        self.published = 0
+        # Set when pinned contention truncates the macro at a boundary.
+        self.truncate_at: Optional[int] = None
 
 
 class FlowNetwork:
@@ -262,6 +387,12 @@ class FlowNetwork:
                 self.add_link(link)
         if self.allocator == "legacy":
             self._advance_all()
+        else:
+            # A new flow disturbing a macro-flow's component forces the
+            # macro back to per-batch granularity *before* this flow is
+            # announced, so preemption happens at the batch boundary the
+            # paper's §4.3.2 semantics require.
+            self._split_macros_on(flow.path)
         self.flows_started += 1
         self._flows[flow.flow_id] = flow
         for link in flow.path:
@@ -293,9 +424,24 @@ class FlowNetwork:
         return flow
 
     def cancel_flow(self, flow: Flow) -> None:
-        """Abort *flow*; its done-event fails with SimulationError."""
+        """Abort *flow*; its done-event fails with SimulationError.
+
+        Cancelling a macro-flow aborts the whole coalesced remainder
+        (the engine's batch loop dies with the failed done-event).
+        """
         if flow.flow_id not in self._flows:
             raise SimulationError(f"cancel of unknown flow {flow.flow_id}")
+        if flow._macro is not None:
+            macro = flow._macro
+            self._advance_flow(flow, self.env.now)
+            self._publish_virtual_batches(flow, macro, macro.index)
+            if macro.pinned_refund is not None and macro.pinned_hold > 0:
+                macro.pinned_refund(macro.pinned_hold)
+                macro.pinned_hold = 0.0
+            flow._macro = None
+            self._detach(flow)
+            flow.done.fail(SimulationError(f"flow {flow.flow_id} cancelled"))
+            return
         if self.allocator == "legacy":
             self._advance_all()
             self._detach(flow)
@@ -312,15 +458,404 @@ class FlowNetwork:
         flow.done.fail(SimulationError(f"flow {flow.flow_id} cancelled"))
         self._reallocate_scoped(neighbors, "cancel", flow.flow_id)
 
+    # -- macro-flows (steady-state batch coalescing) ----------------------
+    def macro_eligible(self, path: Sequence[Link]) -> bool:
+        """Cheap pre-check: can a macro-flow start on *path* right now?
+
+        True only when every path link is idle — the macro would be
+        alone in its bandwidth component, which is exactly the regime
+        where per-batch granularity does no preemption work.  The
+        legacy allocator predates components and never coalesces.
+        """
+        if self.allocator == "legacy":
+            return False
+        for link in path:
+            state = self._links.get(link.link_id)
+            if state is not None and state.flows:
+                return False
+        return True
+
+    def start_macro_flow(
+        self,
+        path: Sequence[Link],
+        size: float,
+        batch_bytes: float,
+        batch_setup: float,
+        min_rate: float = 0.0,
+        rate_cap: float = float("inf"),
+        slo_deadline: Optional[float] = None,
+        tag: str = "",
+        owner: str = "",
+        pinned_hold: float = 0.0,
+        pinned_refund=None,
+    ) -> Optional[Flow]:
+        """Coalesce a whole chunk-batch loop into one analytic flow.
+
+        Precomputes the exact per-batch schedule (setup instants, batch
+        rates from the allocator at each virtual start, completion
+        times) by replaying the per-batch float arithmetic, then arms a
+        single timer at the final boundary.  Returns ``None`` when
+        ineligible — path links busy, fewer than two batches, a starved
+        or degenerate schedule — and the caller falls back to per-batch
+        flows.  Any later disturbance splits the macro at the current
+        batch boundary (see :meth:`_split_macro`), preserving the
+        paper's §4.3.2 preemption semantics bit-exactly.
+        """
+        if self.allocator == "legacy" or size <= batch_bytes:
+            return None
+        for link in path:
+            if link.link_id not in self._links:
+                self.add_link(link)
+        if any(self._links[link.link_id].flows for link in path):
+            return None
+        flow = Flow(
+            self.env,
+            path,
+            size,
+            min_rate=min_rate,
+            rate_cap=rate_cap,
+            slo_deadline=slo_deadline,
+            tag=tag,
+            owner=owner,
+        )
+        links = {link.link_id: self._links[link.link_id] for link in flow.path}
+        entries: list[_MacroBatch] = []
+        t = self.env.now
+        rem = float(size)
+        ok = True
+        rate: Optional[float] = None
+        while rem > 0:
+            # float() mirrors Flow.__init__'s coercion in the per-batch
+            # world so published event payloads compare bit-identically.
+            b = float(min(batch_bytes, rem))
+            w = t
+            s = (w + batch_setup) if batch_setup > 0 else w
+            flow.remaining = b
+            if rate is None or self.policy == "slo_gated":
+                # Max-min rates for a lone flow read neither *now* nor
+                # the flow's remaining bytes, so one allocator call
+                # covers every batch bit-exactly; only slo_gated rates
+                # are time-varying and must be replayed per batch.
+                rate = self._compute_rates([flow], links, now=s)[flow]
+            if rate <= _EPS:
+                ok = False  # starved; per-batch parks until a change
+                break
+            eta = b / rate
+            f = s + eta
+            if not f > s:
+                ok = False  # clock cannot advance past this batch
+                break
+            residual = b - min(b, rate * (f - s))
+            if residual > max(1e-6, b * 1e-12):
+                ok = False  # per-batch would re-arm mid-batch; stay exact
+                break
+            entries.append(
+                _MacroBatch(w=w, s=s, f=f, b=b, rem_before=rem, rate=rate)
+            )
+            t = f
+            rem = rem - b
+        if not ok or len(entries) < 2:
+            return None
+        flow.remaining = float(size)
+        flow._macro = _MacroState(entries, pinned_hold, pinned_refund)
+        self.flows_started += 1
+        self._flows[flow.flow_id] = flow
+        for link in flow.path:
+            self._links[link.link_id].flows[flow.flow_id] = flow
+        end = entries[-1].f
+        flow._timer = self.env.schedule_at(
+            end, lambda f_=flow: self._on_macro_timer(f_)
+        )
+        flow._timer_at = end
+        return flow
+
+    def _split_macros_on(self, path: Sequence[Link]) -> None:
+        """Split every macro-flow whose component *path* would touch."""
+        macros: dict[int, Flow] = {}
+        for link in path:
+            state = self._links.get(link.link_id)
+            if state is None:
+                continue
+            for other in state.flows.values():
+                if other._macro is not None:
+                    macros[other.flow_id] = other
+        if not macros:
+            return
+        now = self.env.now
+        for other in sorted(macros.values(), key=_flow_order):
+            self._split_macro(other, now)
+
+    def _split_macro(self, flow: Flow, now: float) -> None:
+        """Disturbance fallback: return to per-batch granularity.
+
+        Transmit phase — the macro mutates *in place* into its current
+        virtual batch's flow (batch size, rate, virtual start as
+        arrival order), so the caller's ensuing reallocation treats it
+        exactly like the established per-batch flow it replaces; its
+        done-event then fires at the batch boundary.  Setup window —
+        the per-batch world has no flow in flight between batches, so
+        the macro vanishes immediately and the engine resumes the
+        batch loop at the next virtual start.  Either way the already-
+        elapsed batches are emitted as virtual per-batch telemetry
+        first, keeping the event stream decomposed.
+        """
+        macro = flow._macro
+        self._advance_flow(flow, now)
+        if flow._timer is not None:
+            flow._timer.cancel()
+            flow._timer = None
+        entry = macro.entries[macro.index]
+        self._publish_virtual_batches(flow, macro, macro.index)
+        bus = self.env.telemetry
+        if now >= entry.s:
+            # Become the current per-batch flow F_k.
+            if macro.pinned_refund is not None:
+                target = min(entry.b, macro.pinned_hold)
+                surplus = macro.pinned_hold - target
+                if surplus > 0:
+                    macro.pinned_refund(surplus)
+                    macro.pinned_hold = target
+            flow._macro = None
+            flow.macro_outcome = MacroOutcome(
+                kind="converted", rem_before=entry.rem_before, block=entry.b
+            )
+            flow.size = entry.b
+            flow.remaining = macro.cur_rem
+            flow.rate = entry.rate
+            flow.started_at = entry.s
+            flow.arrival_order = entry.s
+            flow._last_update = now
+            if bus is not None:
+                links = tuple(link.link_id for link in flow.path)
+                bus.publish(FlowStarted(
+                    t=entry.s,
+                    flow_id=flow.flow_id,
+                    tag=flow.tag,
+                    size=flow.size,
+                    links=links,
+                    src=flow.path[0].src,
+                    dst=flow.path[-1].dst,
+                    nominal_bw=min(link.capacity for link in flow.path),
+                    owner=flow.owner,
+                ))
+                bus.publish(FlowsReallocated(
+                    t=entry.s,
+                    trigger="start",
+                    flow_id=flow.flow_id,
+                    component=(flow.flow_id,),
+                    links=links,
+                    rescheduled=(flow.flow_id,),
+                    rates=(entry.rate,),
+                ))
+        else:
+            # Setup window: refund the whole pinned claim and hand the
+            # loop back to the engine at the virtual batch start.
+            if macro.pinned_refund is not None and macro.pinned_hold > 0:
+                macro.pinned_refund(macro.pinned_hold)
+                macro.pinned_hold = 0.0
+            flow.macro_outcome = MacroOutcome(
+                kind="setup",
+                rem_before=entry.rem_before,
+                block=entry.b,
+                resume_at=entry.s,
+            )
+            flow._macro = None
+            self._detach(flow)
+            flow.done.succeed(None)
+
+    def split_macro_for_pinned(self, flow: Flow) -> None:
+        """Pinned-pool contention: cut the macro at its batch boundary.
+
+        Called synchronously from ``Container.on_blocked`` when a get
+        on the macro's pinned pool would block.  Mid-batch the macro is
+        truncated to finish at the current boundary — the surplus claim
+        above the in-flight batch's own hold is refunded immediately,
+        matching what the eager per-batch world would be holding right
+        now.  In a setup window the whole claim is refunded and the
+        engine resumes per-batch at once.
+        """
+        macro = flow._macro
+        if macro is None or macro.truncate_at is not None:
+            return
+        now = self.env.now
+        # Seek only: the eager world would not advance any flow here (a
+        # container get is not a network event), so a partial advance
+        # would split one batch's byte credit into two float adds.
+        self._advance_macro(flow, now, partial=False)
+        entry = macro.entries[macro.index]
+        if now >= entry.s:
+            macro.truncate_at = macro.index
+            if macro.pinned_refund is not None:
+                target = min(entry.b, macro.pinned_hold)
+                surplus = macro.pinned_hold - target
+                if surplus > 0:
+                    macro.pinned_refund(surplus)
+                    macro.pinned_hold = target
+            if flow._timer is not None:
+                flow._timer.cancel()
+            flow._timer = self.env.schedule_at(
+                entry.f, lambda f_=flow: self._on_macro_timer(f_)
+            )
+            flow._timer_at = entry.f
+        else:
+            self._publish_virtual_batches(flow, macro, macro.index)
+            if macro.pinned_refund is not None and macro.pinned_hold > 0:
+                macro.pinned_refund(macro.pinned_hold)
+                macro.pinned_hold = 0.0
+            flow.macro_outcome = MacroOutcome(
+                kind="setup",
+                rem_before=entry.rem_before,
+                block=entry.b,
+                resume_at=entry.s,
+            )
+            flow._macro = None
+            self._detach(flow)
+            flow.done.succeed(None)
+
+    def _on_macro_timer(self, flow: Flow) -> None:
+        """Analytic completion (or truncation boundary) of a macro."""
+        flow._timer = None
+        if flow.done.triggered or flow.flow_id not in self._flows:
+            return
+        macro = flow._macro
+        now = self.env.now
+        self._advance_flow(flow, now)
+        if macro.truncate_at is not None:
+            entry = macro.entries[macro.truncate_at]
+            upto = macro.truncate_at + 1
+            flow.macro_outcome = MacroOutcome(
+                kind="truncated", rem_before=entry.rem_before, block=entry.b
+            )
+        else:
+            upto = len(macro.entries)
+            flow.macro_outcome = MacroOutcome(kind="completed")
+        self._publish_virtual_batches(flow, macro, upto)
+        flow._macro = None
+        flow.remaining = 0.0
+        self._detach(flow)
+        flow.done.succeed(self._stats(flow))
+        # No reallocation and no live FlowFinished: the macro was alone
+        # in its component by construction (a lone per-batch finish
+        # publishes no epoch either), and its telemetry was emitted as
+        # the virtual per-batch decomposition above.
+
+    def _publish_virtual_batches(
+        self, flow: Flow, macro: _MacroState, upto: int
+    ) -> None:
+        """Emit the per-batch-equivalent event stream for batches < *upto*.
+
+        Each virtual batch gets a fresh flow id and the exact
+        FlowStarted / single-flow FlowsReallocated / FlowFinished
+        triple the per-batch world would have published, at the
+        virtual timestamps.  Ids differ from a real per-batch run
+        (they are allocated lazily); consumers key on ids, not their
+        values, so span trees and blame tiling stay exact.
+        """
+        if macro.published >= upto:
+            return
+        bus = self.env.telemetry
+        if bus is None:
+            macro.published = upto
+            return
+        links = tuple(link.link_id for link in flow.path)
+        src = flow.path[0].src
+        dst = flow.path[-1].dst
+        nominal = min(link.capacity for link in flow.path)
+        for j in range(macro.published, upto):
+            entry = macro.entries[j]
+            vid = next(Flow._ids)
+            bus.publish(FlowStarted(
+                t=entry.s,
+                flow_id=vid,
+                tag=flow.tag,
+                size=entry.b,
+                links=links,
+                src=src,
+                dst=dst,
+                nominal_bw=nominal,
+                owner=flow.owner,
+            ))
+            bus.publish(FlowsReallocated(
+                t=entry.s,
+                trigger="start",
+                flow_id=vid,
+                component=(vid,),
+                links=links,
+                rescheduled=(vid,),
+                rates=(entry.rate,),
+            ))
+            bus.publish(FlowFinished(
+                t=entry.f,
+                flow_id=vid,
+                tag=flow.tag,
+                size=entry.b,
+                links=links,
+                src=src,
+                dst=dst,
+                started_at=entry.s,
+                owner=flow.owner,
+            ))
+        macro.published = upto
+
     # -- progress accounting ----------------------------------------------
     def _advance_flow(self, flow: Flow, now: float) -> None:
         """Drain bytes for *flow* since its last update."""
+        if flow._macro is not None:
+            self._advance_macro(flow, now)
+            return
         elapsed = now - flow._last_update
         if elapsed > 0 and flow.rate > 0:
             moved = min(flow.remaining, flow.rate * elapsed)
             flow.remaining -= moved
             for link in flow.path:
                 self._links[link.link_id].bytes_carried += moved
+        flow._last_update = now
+
+    def _advance_macro(self, flow: Flow, now: float, partial: bool = True) -> None:
+        """Replay the per-batch lazy-advance arithmetic virtually.
+
+        Walks the macro's virtual batches up to *now* using the same
+        float operations, in the same order, that the equivalent
+        per-batch flows would execute for the same advance instants —
+        so ``bytes_carried`` stays bit-identical between modes even
+        under mid-flight queries.  Batch residuals vanish at batch
+        boundaries exactly like the per-batch drift guard drops them.
+
+        With ``partial=False`` the in-flight batch is *not* advanced to
+        *now* — only wholly completed batches are settled.  Used where
+        the per-batch world would not have advanced the flow at *now*
+        at all (e.g. pinned-pool contention: a container ``get`` is not
+        a network event), since splitting one batch's credit into two
+        adds would perturb the float accumulation by an ulp.
+        """
+        macro = flow._macro
+        entries = macro.entries
+        last = len(entries) - 1
+        while True:
+            entry = entries[macro.index]
+            if now < entry.s:
+                break  # setup window: no virtual flow in flight
+            if now < entry.f and not partial:
+                break  # seek mode: leave the in-flight batch untouched
+            t_end = now if now < entry.f else entry.f
+            elapsed = t_end - macro.cur_last
+            if elapsed > 0 and entry.rate > 0:
+                moved = min(macro.cur_rem, entry.rate * elapsed)
+                macro.cur_rem -= moved
+                for link in flow.path:
+                    self._links[link.link_id].bytes_carried += moved
+            macro.cur_last = t_end
+            if now < entry.f or macro.index == last:
+                break
+            macro.index += 1
+            nxt = entries[macro.index]
+            macro.cur_rem = nxt.b
+            macro.cur_last = nxt.s
+        entry = entries[macro.index]
+        # Introspection mirrors the per-batch world: during a setup
+        # window no flow is transmitting, so the observable rate is 0.
+        flow.remaining = (entry.rem_before - entry.b) + macro.cur_rem
+        flow.rate = entry.rate if now >= entry.s else 0.0
         flow._last_update = now
 
     def _advance_component(self, flows: Sequence[Flow]) -> None:
@@ -362,17 +897,17 @@ class FlowNetwork:
                     if other.flow_id not in members:
                         members[other.flow_id] = other
                         stack.append(other)
-        component = sorted(members.values(), key=lambda f: f.flow_id)
+        component = sorted(members.values(), key=_flow_order)
         return component, links
 
     def _neighbors(self, flow: Flow) -> list[Flow]:
-        """Flows sharing a link with *flow*, sorted by flow_id."""
+        """Flows sharing a link with *flow*, in arrival order."""
         members: dict[int, Flow] = {}
         for link in flow.path:
             for other in self._links[link.link_id].flows.values():
                 if other.flow_id != flow.flow_id:
                     members[other.flow_id] = other
-        return sorted(members.values(), key=lambda f: f.flow_id)
+        return sorted(members.values(), key=_flow_order)
 
     def _partition_all(self) -> list[tuple[list[Flow], dict[str, _LinkState]]]:
         """All components, re-derived from scratch (fullscan reference)."""
@@ -397,6 +932,8 @@ class FlowNetwork:
             flows.append(flow)
             for link in flow.path:
                 links.setdefault(link.link_id, self._links[link.link_id])
+        for flows, _links_ in groups.values():
+            flows.sort(key=_flow_order)
         return [groups[root] for root in sorted(groups)]
 
     # -- reallocation -----------------------------------------------------
@@ -438,6 +975,20 @@ class FlowNetwork:
             ):
                 # Exactly unchanged: the pending completion timer (or
                 # starved no-timer state) is still correct as-is.
+                self.timer_elisions += 1
+                continue
+            if (
+                flow._timer is not None
+                and flow.remaining > _EPS
+                and new_rate > _EPS
+                and self.env.now + flow.remaining / new_rate == flow._timer_at
+            ):
+                # Completion-time elision: the rate moved, but the
+                # recomputed completion instant lands bit-for-bit on the
+                # armed timer (e.g. simultaneous departures perturb and
+                # restore a symmetric share).  Keep the timer; only the
+                # rate needs updating for progress accounting.
+                flow.rate = new_rate
                 self.timer_elisions += 1
                 continue
             flow.rate = new_rate
@@ -493,6 +1044,8 @@ class FlowNetwork:
         flow.rate = 0.0
 
     def _schedule_completion(self, flow: Flow) -> None:
+        if flow._macro is not None:
+            return  # macro timers are armed analytically at creation
         if flow._timer is not None:
             flow._timer.cancel()
             flow._timer = None
@@ -500,11 +1053,13 @@ class FlowNetwork:
             flow._timer = self.env.schedule(
                 0.0, lambda f=flow: self._on_timer(f)
             )
+            flow._timer_at = self.env.now
             return
         if flow.rate <= _EPS:
             return  # starved; will be rescheduled on the next change
         eta = flow.remaining / flow.rate
         flow._timer = self.env.schedule(eta, lambda f=flow: self._on_timer(f))
+        flow._timer_at = self.env.now + eta
 
     def _on_timer(self, flow: Flow) -> None:
         flow._timer = None
@@ -527,6 +1082,7 @@ class FlowNetwork:
                 flow._timer = self.env.schedule(
                     eta, lambda f=flow: self._on_timer(f)
                 )
+                flow._timer_at = now + eta
                 return
             if eta == float("inf"):
                 return  # starved; rescheduled on the next rate change
@@ -565,13 +1121,18 @@ class FlowNetwork:
 
     # -- rate computation -------------------------------------------------
     def _compute_rates(
-        self, flows: list[Flow], links: dict[str, _LinkState]
+        self,
+        flows: list[Flow],
+        links: dict[str, _LinkState],
+        now: Optional[float] = None,
     ) -> dict[Flow, float]:
-        """Rates for *flows* (flow_id-sorted) over *links*.
+        """Rates for *flows* (arrival-ordered) over *links*.
 
         *links* restricts the residual bookkeeping to the links the
         component actually crosses; the legacy allocator passes every
-        registered link (its original cost model).
+        registered link (its original cost model).  *now* overrides the
+        SLO-slack reference instant — macro-flow schedule replay asks
+        for rates at virtual future batch starts.
         """
         if not flows:
             return {}
@@ -596,7 +1157,7 @@ class FlowNetwork:
 
         # Phase 2: distribute the residual.
         if self.policy == "slo_gated":
-            self._fill_slo_gated(flows, rates, residual)
+            self._fill_slo_gated(flows, rates, residual, now)
         else:
             self._fill_maxmin(flows, rates, residual)
         return rates
@@ -610,6 +1171,7 @@ class FlowNetwork:
         flows: list[Flow],
         rates: dict[Flow, float],
         residual: dict[str, float],
+        now: Optional[float] = None,
     ) -> None:
         """Idle bandwidth to the tightest SLO first (§4.3.2).
 
@@ -621,13 +1183,14 @@ class FlowNetwork:
         capacity remains is shared max-min among all flows, so nothing
         is left idle and best-effort traffic never fully starves.
         """
-        now = self.env.now
+        if now is None:
+            now = self.env.now
         pending = [
             flow
             for flow in flows
             if flow.slo_deadline is not None and flow.slo_deadline > now
         ]
-        pending.sort(key=lambda f: (f.slo_deadline, f.flow_id))
+        pending.sort(key=lambda f: (f.slo_deadline, f.arrival_order, f.flow_id))
         for flow in pending:
             slack = (flow.slo_deadline - now) * self._SLO_SLACK_TARGET
             target_rate = flow.remaining / max(slack, _EPS)

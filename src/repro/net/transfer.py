@@ -10,18 +10,35 @@ are recomputed on each flow arrival.
 Multi-path transfers split the payload proportionally to each path's
 nominal bandwidth (dynamic chunk sizing, §4.3.3) so all paths finish
 together.
+
+Steady-state coalescing (``coalesced`` mode, the default)
+---------------------------------------------------------
+The batch granularity exists so new functions can preempt bandwidth at
+batch boundaries — but the fluid model pays it even when nothing
+preempts.  While a chunked transfer's path links carry no other flow,
+the engine hands the whole remaining batch loop to
+:meth:`FlowNetwork.start_macro_flow`, which replays the per-batch float
+arithmetic analytically and arms a single completion timer: a quiescent
+1 GB transfer costs O(1) events instead of O(size/batch).  Any
+disturbance — a flow arriving on the component, pinned-pool contention —
+splits the macro at the current batch boundary and the loop falls back
+to per-batch flows, so preemption semantics, byte accounting, and
+telemetry stay bit-identical to ``per_batch`` mode (enforced by the
+differential property suite).  Select per engine via ``mode=`` or
+globally with the ``REPRO_NET_TRANSFER`` environment variable.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.common.errors import SimulationError
 from repro.common.units import MB, US
 from repro.net.links import Link
-from repro.net.network import FlowNetwork
+from repro.net.network import Flow, FlowNetwork
 from repro.sim.core import Environment, Event, Process
 from repro.sim.resources import Container
 from repro.telemetry.events import TransferFinished, TransferStarted
@@ -31,6 +48,8 @@ DEFAULT_BATCH_CHUNKS = 5
 # Connection / launch overhead charged once per batch: a CUDA stream
 # launch plus synchronization is on the order of tens of microseconds.
 DEFAULT_BATCH_SETUP = 20 * US
+
+TRANSFER_MODES = ("coalesced", "per_batch")
 
 
 @dataclass(frozen=True)
@@ -47,6 +66,19 @@ class Path:
                 raise SimulationError(
                     f"discontinuous path: {up.link_id} -> {down.link_id}"
                 )
+        # Links are immutable, so these are fixed at construction; the
+        # chunk-batch loop asks for them on every batch otherwise.
+        object.__setattr__(
+            self, "_nominal_bandwidth", min(l.capacity for l in self.links)
+        )
+        object.__setattr__(
+            self, "_propagation_latency", sum(l.latency for l in self.links)
+        )
+        object.__setattr__(
+            self,
+            "_devices",
+            (self.links[0].src, *(link.dst for link in self.links)),
+        )
 
     @property
     def src(self) -> str:
@@ -58,13 +90,13 @@ class Path:
 
     @property
     def nominal_bandwidth(self) -> float:
-        """Bottleneck capacity along the path."""
-        return min(link.capacity for link in self.links)
+        """Bottleneck capacity along the path (cached)."""
+        return self._nominal_bandwidth
 
     @property
     def propagation_latency(self) -> float:
-        """Sum of per-link propagation latencies."""
-        return sum(link.latency for link in self.links)
+        """Sum of per-link propagation latencies (cached)."""
+        return self._propagation_latency
 
     @property
     def hops(self) -> int:
@@ -72,7 +104,7 @@ class Path:
 
     def devices(self) -> list[str]:
         """All device ids the path touches, in order."""
-        return [self.links[0].src] + [link.dst for link in self.links]
+        return list(self._devices)
 
     def __repr__(self) -> str:
         route = "->".join(self.devices())
@@ -98,6 +130,24 @@ class TransferResult:
         return self.size / self.duration if self.duration > 0 else float("inf")
 
 
+class _PinnedHold:
+    """Pinned-pool bytes held on behalf of an in-flight macro-flow.
+
+    The network refunds surplus through :meth:`refund` when a split
+    reduces the claim to what the eager per-batch world would hold.
+    """
+
+    __slots__ = ("container", "amount")
+
+    def __init__(self, container: Container) -> None:
+        self.container = container
+        self.amount = 0.0
+
+    def refund(self, amount: float) -> None:
+        self.amount -= amount
+        self.container.put(amount)
+
+
 class TransferEngine:
     """Executes (possibly multi-path, chunk-batched) transfers.
 
@@ -107,6 +157,13 @@ class TransferEngine:
         The simulation environment and the flow network carrying data.
     chunk_size, batch_chunks, batch_setup:
         Chunking defaults; individual transfers may override.
+    mode:
+        ``"coalesced"`` (default) — quiescent chunk-batch loops collapse
+        into analytic macro-flows, splitting back to per-batch flows on
+        any disturbance; ``"per_batch"`` — every batch is its own flow
+        (the original, always-eager behaviour).  When ``None``, the
+        ``REPRO_NET_TRANSFER`` environment variable is consulted, so
+        whole experiment runs can be A/B-compared without code changes.
     """
 
     _ids = itertools.count()
@@ -118,14 +175,23 @@ class TransferEngine:
         chunk_size: float = DEFAULT_CHUNK_SIZE,
         batch_chunks: int = DEFAULT_BATCH_CHUNKS,
         batch_setup: float = DEFAULT_BATCH_SETUP,
+        mode: Optional[str] = None,
     ) -> None:
         if chunk_size <= 0 or batch_chunks < 1 or batch_setup < 0:
             raise SimulationError("invalid transfer engine parameters")
+        if mode is None:
+            mode = os.environ.get("REPRO_NET_TRANSFER", "coalesced")
+        if mode not in TRANSFER_MODES:
+            raise SimulationError(f"unknown transfer mode {mode!r}")
         self.env = env
         self.network = network
         self.chunk_size = chunk_size
         self.batch_chunks = batch_chunks
         self.batch_setup = batch_setup
+        self.mode = mode
+        # id(container) -> [(flow, hold), ...] for live macro claims;
+        # consulted by the Container.on_blocked hook.
+        self._macro_holds: dict[int, list[tuple[Flow, _PinnedHold]]] = {}
 
     # -- public API -------------------------------------------------------
     def transfer(
@@ -275,6 +341,44 @@ class TransferEngine:
         batch_bytes = self.chunk_size * self.batch_chunks
         remaining = size
         while remaining > 0:
+            if (
+                self.mode == "coalesced"
+                and remaining > batch_bytes
+                and self.network.macro_eligible(path.links)
+            ):
+                outcome = yield from self._run_macro(
+                    path,
+                    remaining,
+                    batch_bytes,
+                    min_rate,
+                    slo_deadline,
+                    pinned_buffer,
+                    tag,
+                    owner,
+                )
+                if outcome is not None:
+                    if outcome.kind == "completed":
+                        return
+                    if outcome.kind == "setup":
+                        # The split landed between batches; the setup
+                        # delay was already spent virtually, so send the
+                        # boundary batch without repeating it.
+                        yield self.env.timeout_until(outcome.resume_at)
+                        yield from self._send_block(
+                            path,
+                            outcome.block,
+                            min_rate,
+                            slo_deadline,
+                            pinned_buffer,
+                            tag,
+                            owner,
+                        )
+                    # converted/truncated: done already fired at the
+                    # boundary batch's completion.  Either way the loop
+                    # re-enters below it — and may re-coalesce once the
+                    # disturbance has passed.
+                    remaining = outcome.rem_before - outcome.block
+                    continue
             block = min(batch_bytes, remaining)
             if self.batch_setup > 0:
                 yield self.env.timeout(self.batch_setup)
@@ -282,6 +386,89 @@ class TransferEngine:
                 path, block, min_rate, slo_deadline, pinned_buffer, tag, owner
             )
             remaining -= block
+
+    def _run_macro(
+        self,
+        path: Path,
+        remaining: float,
+        batch_bytes: float,
+        min_rate: float,
+        slo_deadline: Optional[float],
+        pinned_buffer: Optional[Container],
+        tag: str,
+        owner: str,
+    ):
+        """Attempt one macro-flow for the remaining batch loop.
+
+        Returns the :class:`~repro.net.network.MacroOutcome` on
+        success, or ``None`` when coalescing is ineligible (the caller
+        falls back to a single per-batch iteration).
+        """
+        grab = 0.0
+        hold: Optional[_PinnedHold] = None
+        if pinned_buffer is not None:
+            # Eligibility requires the whole steady-state claim (one
+            # full batch, what the eager loop holds at any instant) to
+            # be grabbable without queueing behind anyone.
+            grab = min(batch_bytes, pinned_buffer.capacity)
+            if pinned_buffer.queue_len > 0 or pinned_buffer.level < grab:
+                return None
+            hold = _PinnedHold(pinned_buffer)
+        flow = self.network.start_macro_flow(
+            path.links,
+            remaining,
+            batch_bytes,
+            self.batch_setup,
+            min_rate=min_rate,
+            slo_deadline=slo_deadline,
+            tag=tag,
+            owner=owner,
+            pinned_hold=grab,
+            pinned_refund=hold.refund if hold is not None else None,
+        )
+        if flow is None:
+            return None
+        if pinned_buffer is not None:
+            got = pinned_buffer.get(grab)  # instant: level checked above
+            hold.amount = grab
+            self._register_macro_hold(pinned_buffer, flow, hold)
+            yield got
+        try:
+            yield flow.done
+        finally:
+            if pinned_buffer is not None:
+                self._unregister_macro_hold(pinned_buffer, flow)
+                if hold.amount > 0:
+                    pinned_buffer.put(hold.amount)
+                    hold.amount = 0.0
+        return flow.macro_outcome
+
+    # -- pinned-pool contention hook --------------------------------------
+    def _register_macro_hold(
+        self, container: Container, flow: Flow, hold: _PinnedHold
+    ) -> None:
+        entries = self._macro_holds.setdefault(id(container), [])
+        entries.append((flow, hold))
+        if container.on_blocked is None:
+            container.on_blocked = self._on_pinned_blocked
+
+    def _unregister_macro_hold(self, container: Container, flow: Flow) -> None:
+        entries = self._macro_holds.get(id(container))
+        if not entries:
+            return
+        self._macro_holds[id(container)] = [
+            entry for entry in entries if entry[0] is not flow
+        ]
+
+    def _on_pinned_blocked(self, container: Container) -> None:
+        """A pinned-pool get would block: split our macro claims.
+
+        Splitting refunds each macro's surplus above what the eager
+        per-batch world would hold right now, so the blocked get is
+        served exactly when it would have been at batch granularity.
+        """
+        for flow, _hold in list(self._macro_holds.get(id(container), ())):
+            self.network.split_macro_for_pinned(flow)
 
     def _send_block(
         self,

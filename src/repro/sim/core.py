@@ -77,6 +77,15 @@ class Event:
     callbacks have run at the scheduled simulation time.
     """
 
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_processed",
+        "_defused",
+    )
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: list[Callable[[Event], None]] = []
@@ -153,6 +162,8 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed delay."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
@@ -164,6 +175,8 @@ class Timeout(Event):
 
 class AnyOf(Event):
     """Fires when the first of *events* fires (with a dict of done events)."""
+
+    __slots__ = ("_events", "_done")
 
     def __init__(self, env: "Environment", events: list[Event]) -> None:
         super().__init__(env)
@@ -190,6 +203,8 @@ class AnyOf(Event):
 
 class AllOf(Event):
     """Fires when all of *events* have fired (with a dict of values)."""
+
+    __slots__ = ("_events", "_done")
 
     def __init__(self, env: "Environment", events: list[Event]) -> None:
         super().__init__(env)
@@ -221,6 +236,8 @@ class Process(Event):
     The generator may ``yield`` any :class:`Event`; it resumes with the
     event's value (or the exception is thrown into it on failure).
     """
+
+    __slots__ = ("_generator", "_waiting_on", "_resume_callback")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not isinstance(generator, Generator):
@@ -330,6 +347,26 @@ class Environment:
         """Create an event that fires after *delay* seconds."""
         return Timeout(self, delay, value)
 
+    def timeout_until(self, time: float, value: Any = None) -> Event:
+        """Create an event that fires at the absolute instant *time*.
+
+        Unlike ``timeout(time - now)``, the fire time is *time* itself,
+        not ``now + (time - now)`` — the two differ by an ulp whenever
+        the subtraction rounds, which matters to consumers that replay
+        exact event-time arithmetic (the transfer engine's macro-flow
+        splits re-arm batch schedules this way).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"timeout_until({time}) is in the past (now={self._now})"
+            )
+        event = Event(self)
+        event._ok = True
+        event._value = value if value is not None else time
+        heapq.heappush(self._queue, (time, self._seq, event))
+        self._seq += 1
+        return event
+
     def process(self, generator: Generator) -> Process:
         """Start *generator* as a process; returns its completion event."""
         return Process(self, generator)
@@ -363,6 +400,20 @@ class Environment:
             raise SimulationError(f"negative delay: {delay}")
         handle = ScheduledCall(self, call)
         heapq.heappush(self._queue, (self._now + delay, self._seq, handle))
+        self._seq += 1
+        return handle
+
+    def schedule_at(self, time: float, call: Callable[[], None]) -> ScheduledCall:
+        """Like :meth:`schedule`, but at the absolute instant *time*.
+
+        Exact-time arming for callers that replay event-time arithmetic
+        (see :meth:`timeout_until` for why ``schedule(time - now)`` is
+        not equivalent at the ulp level).
+        """
+        if time < self._now:
+            raise SimulationError(f"time {time} is in the past (now={self._now})")
+        handle = ScheduledCall(self, call)
+        heapq.heappush(self._queue, (time, self._seq, handle))
         self._seq += 1
         return handle
 

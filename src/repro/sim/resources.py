@@ -17,7 +17,7 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any
+from typing import Any, Callable, Optional
 
 from repro.common.errors import SimulationError
 from repro.sim.core import Environment, Event
@@ -29,6 +29,8 @@ class Request(Event):
     Fires when the resource grants a slot.  Must be released via
     :meth:`Resource.release` (or used as a context token).
     """
+
+    __slots__ = ("resource", "priority")
 
     def __init__(self, resource: "Resource", priority: float) -> None:
         super().__init__(resource.env)
@@ -148,11 +150,22 @@ class Container:
         self._level = init
         self._seq = 0
         self._waiting: list[tuple[int, float, Event]] = []
+        # Called (with this container) when a get() cannot be served
+        # immediately.  Lazy holders — the transfer engine's coalesced
+        # macro-flows keep pinned bytes virtually — use it to
+        # materialize or release their claim before FIFO service runs,
+        # so blocking behaviour matches the eager world exactly.
+        self.on_blocked: Optional[Callable[["Container"], None]] = None
 
     @property
     def level(self) -> float:
         """Currently available amount."""
         return self._level
+
+    @property
+    def queue_len(self) -> int:
+        """Number of get() requests waiting for service."""
+        return len(self._waiting)
 
     def put(self, amount: float) -> None:
         """Add *amount*; clamps at capacity; wakes eligible getters."""
@@ -172,6 +185,14 @@ class Container:
         event = self.env.event()
         self._waiting.append((self._seq, amount, event))
         self._seq += 1
+        if (
+            self.on_blocked is not None
+            and self._waiting[0][1] > self._level
+        ):
+            # The head-of-line request (possibly this one) would block:
+            # give lazy holders a chance to reconcile their claims
+            # (their put()s re-enter _serve) before we settle service.
+            self.on_blocked(self)
         self._serve()
         return event
 

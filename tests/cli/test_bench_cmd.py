@@ -21,7 +21,8 @@ def quick_document():
 class TestBenchLibrary:
     def test_registry_names(self):
         assert set(BENCHMARKS) == {
-            "flow_churn", "fanin_hotspot", "multipath_chunk_storm"
+            "flow_churn", "fanin_hotspot", "multipath_chunk_storm",
+            "transfer_storm",
         }
 
     def test_document_shape(self, quick_document):
@@ -67,6 +68,23 @@ class TestBenchLibrary:
         text = format_summary(quick_document)
         assert "flow_churn" in text
         assert "speedup[flow_churn]" in text
+
+    def test_transfer_storm_compares_modes(self):
+        doc = run_benchmarks(
+            quick=True,
+            names=["transfer_storm"],
+            allocators=("incremental",),
+        )
+        (record,) = doc["benchmarks"]
+        assert record["transfer_mode"] == "coalesced"
+        per_batch = record["per_batch"]
+        assert per_batch["transfer_mode"] == "per_batch"
+        # Identical simulated outcome, far fewer real flows.
+        assert record["sim_time"] == per_batch["sim_time"]
+        assert record["flow_events"] == per_batch["flow_events"]
+        assert record["flows_started"] < per_batch["flows_started"]
+        assert "coalesced_speedup_over_per_batch" in record
+        assert "coalesce[transfer_storm/incremental]" in format_summary(doc)
 
 
 class TestBenchCommand:

@@ -220,3 +220,59 @@ class TestContainer:
     def test_invalid_init(self, env):
         with pytest.raises(SimulationError):
             Container(env, capacity=5.0, init=10.0)
+
+    def test_queue_len_counts_waiters(self, env):
+        tank = Container(env, capacity=100.0, init=10.0)
+        assert tank.queue_len == 0
+        tank.get(5.0)
+        assert tank.queue_len == 0
+        tank.get(50.0)
+        tank.get(1.0)  # FIFO: queued behind the blocked head
+        assert tank.queue_len == 2
+        tank.put(60.0)
+        assert tank.queue_len == 0
+
+    def test_on_blocked_fires_before_service(self, env):
+        # A lazy holder (the transfer engine's macro-flow claim) gets a
+        # chance to reconcile before the head-of-line request settles.
+        tank = Container(env, capacity=100.0, init=20.0)
+        calls = []
+
+        def reconcile(container):
+            calls.append(container.level)
+            container.put(30.0)  # release the virtual claim
+
+        tank.on_blocked = reconcile
+        served = []
+
+        def getter():
+            yield tank.get(50.0)
+            served.append(env.now)
+
+        env.process(getter())
+        env.run()
+        assert calls == [20.0]
+        assert served == [0.0]  # unblocked immediately by the refund
+        assert tank.level == 0.0
+
+    def test_on_blocked_not_called_when_level_suffices(self, env):
+        tank = Container(env, capacity=100.0, init=50.0)
+        calls = []
+        tank.on_blocked = lambda c: calls.append(c.level)
+
+        def getter():
+            yield tank.get(30.0)
+
+        env.process(getter())
+        env.run()
+        assert calls == []
+
+    def test_on_blocked_fires_for_queued_follower(self, env):
+        # The hook keys on the *head of line*: a follower behind an
+        # unserveable head triggers it too, since FIFO blocks them both.
+        tank = Container(env, capacity=100.0, init=0.0)
+        calls = []
+        tank.on_blocked = lambda c: calls.append(len(calls))
+        tank.get(60.0)
+        tank.get(1.0)
+        assert len(calls) == 2
