@@ -1,5 +1,13 @@
 """Performance microbenchmarks for the repro data plane and platform."""
 
+from repro.bench.endtoend import (
+    ENDTOEND_BENCHMARKS,
+    RSS_RATIO_THRESHOLD,
+    bench_endtoend,
+    format_endtoend_summary,
+    run_endtoend_benchmarks,
+    rss_check,
+)
 from repro.bench.netflow import (
     BENCHMARKS,
     DEFAULT_ALLOCATORS,
@@ -28,19 +36,25 @@ from repro.bench.telemetry import (
 __all__ = [
     "BENCHMARKS",
     "DEFAULT_ALLOCATORS",
+    "ENDTOEND_BENCHMARKS",
     "PLATFORM_BENCHMARKS",
+    "RSS_RATIO_THRESHOLD",
     "SCHEMA_VERSION",
     "TELEMETRY_BENCHMARKS",
+    "bench_endtoend",
     "bench_event_fanout",
     "bench_fanin_hotspot",
     "bench_flow_churn",
     "bench_multipath_chunk_storm",
     "bench_transfer_storm",
     "bench_request_churn",
+    "format_endtoend_summary",
     "format_platform_summary",
     "format_summary",
     "format_telemetry_summary",
+    "rss_check",
     "run_benchmarks",
+    "run_endtoend_benchmarks",
     "run_platform_benchmarks",
     "run_telemetry_benchmarks",
     "write_results",

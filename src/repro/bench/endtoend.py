@@ -1,0 +1,294 @@
+"""End-to-end macrobenchmark: streaming telemetry at 10k/100k/1M requests.
+
+The point of this suite is not the absolute requests/sec (sim wall
+time is dominated by event-queue churn) but the *shape* of memory
+versus scale: with generator-backed arrivals, retired results, spooled
+events, and bounded-mode metrics, peak RSS should be essentially flat
+in request count.  ``run_endtoend_benchmarks`` therefore records peak
+RSS for every scale and emits an explicit ``rss_check`` comparing the
+largest scale against the smallest — the CI assertion that the
+streaming backend actually bounds memory (ratio <= 1.5).
+
+``requests_1m`` is registered but excluded from the default selection
+(it runs for hours); opt in with ``--bench requests_1m``.
+
+Results ride the same schema/IO helpers as the other suites;
+``repro bench --suite endtoend`` is the CLI entry point and writes
+``BENCH_endtoend.json``.
+"""
+
+from __future__ import annotations
+
+import platform as _platform
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.bench.netflow import SCHEMA_VERSION
+
+RSS_RATIO_THRESHOLD = 1.5
+_RSS_SAMPLE_EVERY = 256  # results between /proc RSS samples
+
+
+def bench_endtoend(
+    requests: int = 10_000,
+    rate: float = 4.0,
+    workflow: str = "recognition",
+    plane_name: str = "grouter",
+    pattern: str = "bursty",
+    replicas: int = 2,
+    seed: int = 0,
+    telemetry: str = "bounded",
+    spool_dir: Optional[str] = None,
+    heartbeat: float = 0.0,
+    compress: bool = True,
+) -> dict:
+    """Replay *requests* arrivals end to end in bounded memory.
+
+    The full streaming stack is engaged: a generator-backed
+    :class:`~repro.traces.ArrivalStream` (no arrival array), telemetry
+    spooled to a gzip JSONL sink (unless ``telemetry="off"``), a
+    bounded-mode metrics registry, and per-request results retired
+    into a :class:`~repro.experiments.harness.StreamingResultAggregator`
+    the moment they complete (``keep_results=False``).
+
+    ``spool_dir`` keeps the spooled events on disk; by default they go
+    to a temporary directory that is deleted afterwards (the write
+    path is still exercised and counted).  ``heartbeat`` > 0 prints a
+    live progress line every that many wall seconds.
+    """
+    from repro.experiments.harness import StreamingResultAggregator
+    from repro.platform import build_platform
+    from repro.telemetry import JsonlEventSink, RunMonitor, capture
+    from repro.traces import stream_trace
+    from repro.workflow import get_workload
+
+    if telemetry not in ("bounded", "exact", "off"):
+        raise ValueError(f"unknown telemetry mode {telemetry!r}")
+
+    # The limit stops the stream after exactly `requests` arrivals
+    # (expected at ~requests/rate); the duration only bounds the
+    # horizon, with enough slack that an unlucky seed still fits.
+    trace = stream_trace(
+        pattern,
+        rate=rate,
+        duration=1.25 * requests / rate + 120.0,
+        seed=seed,
+        limit=requests,
+    )
+    aggregate = StreamingResultAggregator(
+        mode="bounded" if telemetry == "bounded" else "exact"
+    )
+
+    tmp = None
+    sinks = []
+    if telemetry != "off":
+        if spool_dir is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-endtoend-")
+            spool_path = Path(tmp.name)
+        else:
+            spool_path = Path(spool_dir)
+            spool_path.mkdir(parents=True, exist_ok=True)
+        suffix = ".jsonl.gz" if compress else ".jsonl"
+        sinks = [
+            JsonlEventSink(spool_path / f"events_{requests}{suffix}")
+        ]
+
+    monitor = RunMonitor(
+        interval=heartbeat, label=f"endtoend:{requests}", sinks=sinks
+    )
+
+    def retire(result) -> None:
+        aggregate(result)
+        if aggregate.count % _RSS_SAMPLE_EVERY == 0:
+            monitor.sample_rss()
+
+    try:
+        start = time.perf_counter()
+        if telemetry != "off":
+            with capture(sinks=sinks, metrics_mode=telemetry):
+                plat = _streaming_platform(
+                    build_platform, plane_name, monitor.wrap(retire)
+                )
+                monitor.env = plat.env
+                deployment = plat.deploy(
+                    get_workload(workflow), seed=seed, replicas=replicas
+                )
+                submitted = plat.run_trace_streaming(
+                    deployment, trace, monitor=monitor
+                )
+        else:
+            plat = _streaming_platform(
+                build_platform, plane_name, monitor.wrap(retire)
+            )
+            monitor.env = plat.env
+            deployment = plat.deploy(
+                get_workload(workflow), seed=seed, replicas=replicas
+            )
+            submitted = plat.run_trace_streaming(
+                deployment, trace, monitor=monitor
+            )
+        wall = max(time.perf_counter() - start, 1e-9)
+        monitor.sample_rss()
+        spool_bytes = sum(
+            getattr(sink, "bytes_written", 0) for sink in sinks
+        )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    return {
+        "name": f"requests_{_scale_label(requests)}",
+        "plane": plane_name,
+        "config": {
+            "requests": requests,
+            "rate": rate,
+            "workflow": workflow,
+            "pattern": pattern,
+            "replicas": replicas,
+            "seed": seed,
+            "telemetry": telemetry,
+            "compress": compress,
+        },
+        "submitted": submitted,
+        "completed": plat.completed_count,
+        "rejected": plat.rejection_count,
+        "wall_s": wall,
+        "requests_per_sec": plat.completed_count / wall,
+        "sim_time": plat.env.now,
+        "peak_rss_bytes": monitor.peak_rss_bytes,
+        "events_spooled": monitor.events_spooled,
+        "spool_bytes": spool_bytes,
+        "results_retained": len(plat.results),
+        "aggregate": aggregate.summary(),
+    }
+
+
+def _streaming_platform(build_platform, plane_name: str, result_sink):
+    return build_platform(
+        plane_name=plane_name,
+        result_sink=result_sink,
+        keep_results=False,
+    )
+
+
+def _scale_label(requests: int) -> str:
+    if requests % 1_000_000 == 0 and requests >= 1_000_000:
+        return f"{requests // 1_000_000}m"
+    if requests % 1_000 == 0 and requests >= 1_000:
+        return f"{requests // 1_000}k"
+    return str(requests)
+
+
+BenchFn = Callable[..., dict]
+
+ENDTOEND_BENCHMARKS: dict[str, tuple[BenchFn, dict, dict]] = {
+    # name -> (fn, full-run kwargs, quick-run kwargs)
+    "requests_10k": (
+        bench_endtoend,
+        {"requests": 10_000},
+        {"requests": 500},
+    ),
+    "requests_100k": (
+        bench_endtoend,
+        {"requests": 100_000},
+        {"requests": 2_000},
+    ),
+    # Opt-in only (multi-hour run): repro bench --suite endtoend \
+    #   --bench requests_10k --bench requests_1m
+    "requests_1m": (
+        bench_endtoend,
+        {"requests": 1_000_000},
+        {"requests": 10_000},
+    ),
+}
+
+DEFAULT_SELECTION = ("requests_10k", "requests_100k")
+
+
+def run_endtoend_benchmarks(
+    quick: bool = False,
+    names: Optional[Sequence[str]] = None,
+    heartbeat: float = 0.0,
+    spool_dir: Optional[str] = None,
+) -> dict:
+    """Run the selected scales; returns the BENCH_endtoend.json document.
+
+    The default selection is 10k + 100k (``requests_1m`` must be named
+    explicitly).  When at least two scales ran, ``rss_check`` compares
+    peak RSS at the largest scale against the smallest — the
+    bounded-memory acceptance gate.
+    """
+    selected = list(names) if names else list(DEFAULT_SELECTION)
+    unknown = [n for n in selected if n not in ENDTOEND_BENCHMARKS]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(ENDTOEND_BENCHMARKS)}"
+        )
+    runs: list[dict] = []
+    for name in selected:
+        fn, full_kwargs, quick_kwargs = ENDTOEND_BENCHMARKS[name]
+        kwargs = dict(quick_kwargs if quick else full_kwargs)
+        kwargs.setdefault("heartbeat", heartbeat)
+        if spool_dir is not None:
+            kwargs.setdefault("spool_dir", spool_dir)
+        runs.append(fn(**kwargs))
+    document = {
+        "schema": SCHEMA_VERSION,
+        "generated_by": "repro bench --suite endtoend",
+        "mode": "quick" if quick else "full",
+        "python": _platform.python_version(),
+        "benchmarks": runs,
+    }
+    check = rss_check(runs)
+    if check is not None:
+        document["rss_check"] = check
+    return document
+
+
+def rss_check(runs: Sequence[dict]) -> Optional[dict]:
+    """Peak-RSS ratio of the largest scale over the smallest."""
+    sized = [r for r in runs if r.get("peak_rss_bytes")]
+    if len(sized) < 2:
+        return None
+    smallest = min(sized, key=lambda r: r["config"]["requests"])
+    largest = max(sized, key=lambda r: r["config"]["requests"])
+    if smallest is largest:
+        return None
+    ratio = largest["peak_rss_bytes"] / max(smallest["peak_rss_bytes"], 1)
+    return {
+        "baseline": smallest["name"],
+        "target": largest["name"],
+        "baseline_rss_bytes": smallest["peak_rss_bytes"],
+        "target_rss_bytes": largest["peak_rss_bytes"],
+        "ratio": ratio,
+        "threshold": RSS_RATIO_THRESHOLD,
+        "ok": ratio <= RSS_RATIO_THRESHOLD,
+    }
+
+
+def format_endtoend_summary(document: dict) -> str:
+    """Human-readable summary for logs and CI output."""
+    lines = [
+        f"{'benchmark':<16} {'requests':>9} {'req/s':>8} {'wall (s)':>9} "
+        f"{'peak RSS':>10} {'spooled':>9} {'p99 (ms)':>9}"
+    ]
+    for run in document["benchmarks"]:
+        p99 = run["aggregate"]["latency_ms"]["p99"]
+        lines.append(
+            f"{run['name']:<16} {run['config']['requests']:>9} "
+            f"{run['requests_per_sec']:>8.1f} {run['wall_s']:>9.2f} "
+            f"{run['peak_rss_bytes'] / 1e6:>8.1f}MB "
+            f"{run['events_spooled']:>9} {p99:>9.1f}"
+        )
+    check = document.get("rss_check")
+    if check is not None:
+        verdict = "OK" if check["ok"] else "EXCEEDED"
+        lines.append(
+            f"rss ratio {check['target']}/{check['baseline']} = "
+            f"{check['ratio']:.2f} (threshold {check['threshold']}): "
+            f"{verdict}"
+        )
+    return "\n".join(lines)

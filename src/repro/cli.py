@@ -15,7 +15,11 @@ Commands
     the network engine (``BENCH_net.json``); ``--suite platform`` runs
     the request-lifecycle churn benchmark (``BENCH_platform.json``);
     ``--suite telemetry`` measures event fan-out cost with the
-    recorder and profiler attached (``BENCH_telemetry.json``).
+    recorder and profiler attached (``BENCH_telemetry.json``);
+    ``--suite endtoend`` replays 10k/100k-request traces through the
+    streaming telemetry stack and asserts peak RSS stays flat
+    (``BENCH_endtoend.json``; name ``requests_1m`` explicitly for the
+    million-request run).
 ``profile``
     Run one experiment with the causal profiler attached: writes
     ``profile.json`` (per-request critical paths with exact blame
@@ -244,6 +248,8 @@ def _cmd_trace(args) -> int:
         print(f"choose from: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
     _description, full, quick = EXPERIMENTS[args.experiment]
+    if args.stream:
+        return _cmd_trace_stream(args, full, quick)
     with capture() as session:
         tables = quick() if args.quick else full()
     out_dir = os.path.dirname(args.out)
@@ -262,6 +268,38 @@ def _cmd_trace(args) -> int:
           f"({len(critical)} critical-path) "
           f"from {session.run_count} run(s) "
           f"(open in ui.perfetto.dev or chrome://tracing)")
+    print()
+    print(render(metrics_summary_table(session.metrics), args.format))
+    if not args.quiet:
+        for table in tables:
+            print()
+            print(render(table, args.format))
+    return 0
+
+
+def _cmd_trace_stream(args, full, quick) -> int:
+    """``repro trace --stream``: spool the trace to disk incrementally.
+
+    Events never accumulate in memory — a
+    :class:`~repro.telemetry.ChromeStreamingSink` writes each one to
+    the output file as it is published, so arbitrarily long runs trace
+    in bounded RSS.  The profiler's critical-path track needs the full
+    in-memory event list and is skipped in this mode.
+    """
+    from repro.report import metrics_summary_table
+    from repro.telemetry import ChromeStreamingSink, capture
+
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    sink = ChromeStreamingSink(args.out)
+    with capture(sinks=[sink]) as session:
+        tables = quick() if args.quick else full()
+    print(f"wrote {args.out}: {sink.records_written} trace events "
+          f"streamed from {session.run_count} run(s), "
+          f"{sink.bytes_written} bytes "
+          f"(open in ui.perfetto.dev or chrome://tracing; "
+          f"critical-path track unavailable in --stream mode)")
     print()
     print(render(metrics_summary_table(session.metrics), args.format))
     if not args.quiet:
@@ -323,6 +361,8 @@ def _cmd_bench(args) -> int:
         return _cmd_bench_platform(args)
     if args.suite == "telemetry":
         return _cmd_bench_telemetry(args)
+    if args.suite == "endtoend":
+        return _cmd_bench_endtoend(args)
     allocators = args.allocators.split(",") if args.allocators else None
     if allocators:
         unknown = [a for a in allocators if a not in ALLOCATORS]
@@ -412,6 +452,39 @@ def _cmd_bench_telemetry(args) -> int:
     return 0
 
 
+def _cmd_bench_endtoend(args) -> int:
+    from repro.bench import (
+        format_endtoend_summary,
+        run_endtoend_benchmarks,
+        write_results,
+    )
+
+    if args.allocators:
+        print("--allocators applies to the net suite only", file=sys.stderr)
+        return 2
+    try:
+        document = run_endtoend_benchmarks(
+            quick=args.quick,
+            names=args.benchmarks or None,
+            heartbeat=args.heartbeat,
+            spool_dir=args.spool_dir,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_endtoend_summary(document))
+    out = args.out
+    if out == "BENCH_net.json":  # suite-specific default
+        out = "BENCH_endtoend.json"
+    if out:
+        out_dir = os.path.dirname(out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        write_results(document, out)
+        print(f"\nwrote {out}")
+    return 0
+
+
 def _cmd_validate(_args) -> int:
     from repro.validate import run_scorecard
 
@@ -451,6 +524,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--format", choices=FORMATS, default="table")
     trace.add_argument("--quiet", action="store_true",
                        help="skip the experiment's own result tables")
+    trace.add_argument("--stream", action="store_true",
+                       help="spool trace events to --out incrementally "
+                            "(bounded memory; no critical-path track)")
 
     profile = sub.add_parser(
         "profile",
@@ -477,9 +553,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark names to run (default: all in the suite)",
     )
     bench.add_argument(
-        "--suite", choices=("net", "platform", "telemetry"), default="net",
+        "--suite", choices=("net", "platform", "telemetry", "endtoend"),
+        default="net",
         help="benchmark suite: network engine (default), the "
-             "request-lifecycle platform, or telemetry fan-out",
+             "request-lifecycle platform, telemetry fan-out, or the "
+             "end-to-end streaming macrobenchmark",
     )
     bench.add_argument("--quick", action="store_true",
                        help="scaled-down parameters for CI smoke runs")
@@ -490,6 +568,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--allocators",
         help="comma-separated allocator modes "
              "(default: incremental,legacy)",
+    )
+    bench.add_argument(
+        "--heartbeat", type=float, default=0.0,
+        help="endtoend suite: print a live progress line every N wall "
+             "seconds (0 disables)",
+    )
+    bench.add_argument(
+        "--spool-dir",
+        help="endtoend suite: keep spooled telemetry under this "
+             "directory instead of a deleted temp dir",
     )
 
     sub.add_parser(

@@ -86,20 +86,45 @@ class TransferRecord:
 
 @dataclass
 class PlaneMetrics:
-    """Counters a data plane accumulates while serving Put/Get."""
+    """Counters a data plane accumulates while serving Put/Get.
+
+    ``records`` holds one :class:`TransferRecord` per completed
+    movement for experiment accounting (latency percentiles by
+    category).  That list is the one per-request structure a plane
+    grows without bound, so streaming runs
+    (``ServerlessPlatform(keep_results=False)``) set
+    ``keep_records=False``: counters and byte totals stay exact, the
+    per-transfer records are dropped (counted in ``dropped_records``),
+    and :meth:`latencies` raises rather than silently returning a
+    truncated distribution.
+    """
 
     puts: int = 0
     gets: int = 0
     copies: int = 0
     control_ops: int = 0
     admission_spills: int = 0
+    keep_records: bool = True
+    dropped_records: int = 0
     records: list[TransferRecord] = field(default_factory=list)
+    _category_bytes: dict = field(default_factory=dict)
 
     def record(self, record: TransferRecord) -> None:
-        self.records.append(record)
+        if self.keep_records:
+            self.records.append(record)
+        else:
+            self.dropped_records += 1
         self.copies += record.copies
+        self._category_bytes[record.category] = (
+            self._category_bytes.get(record.category, 0.0) + record.size
+        )
 
     def latencies(self, category: Optional[str] = None) -> list[float]:
+        if self.dropped_records:
+            raise RuntimeError(
+                "per-transfer records were dropped (keep_records=False); "
+                "latency distributions are unavailable on streaming runs"
+            )
         return [
             r.latency
             for r in self.records
@@ -107,6 +132,10 @@ class PlaneMetrics:
         ]
 
     def bytes_moved(self, category: Optional[str] = None) -> float:
+        if not self.keep_records:
+            if category is None:
+                return sum(self._category_bytes.values())
+            return self._category_bytes.get(category, 0.0)
         return sum(
             r.size
             for r in self.records

@@ -64,7 +64,13 @@ class FunctionInstance:
         self._gpu_resource = gpu_resource
         self._cpu_resource = cpu_resource
         self.speed_factor = speed_factor
+        # Per-invocation timing history, used by dispatch-balance
+        # assertions and experiment accounting.  Streaming runs set
+        # keep_executions=False so a replica's memory stays flat in
+        # invocation count; execution_count stays exact either way.
         self.executions: list[ExecutionRecord] = []
+        self.keep_executions = True
+        self.execution_count = 0
         self.outstanding = 0  # invocations dispatched here, not yet done
 
     @property
@@ -112,7 +118,9 @@ class FunctionInstance:
             finished_at=self.env.now,
             queued_for=0.0,
         )
-        self.executions.append(record)
+        self.execution_count += 1
+        if self.keep_executions:
+            self.executions.append(record)
         return record
 
     def _execute(self, batch: int, input_bytes: float, priority: float):
@@ -133,7 +141,9 @@ class FunctionInstance:
             finished_at=self.env.now,
             queued_for=started - arrived,
         )
-        self.executions.append(record)
+        self.execution_count += 1
+        if self.keep_executions:
+            self.executions.append(record)
         return record
 
     def __repr__(self) -> str:

@@ -38,6 +38,9 @@ class FunctionHistogram:
     concurrency: Deque[int] = field(default_factory=deque)
     last_arrival: Optional[float] = None
     _live_objects: int = 0
+    # Cached P99s, invalidated on push: reservation() is probed on
+    # every trim check, far more often than the windows mutate.
+    _cache: dict = field(default_factory=dict, repr=False)
 
     def observe_arrival(self, now: float) -> None:
         if self.last_arrival is not None:
@@ -56,6 +59,14 @@ class FunctionHistogram:
         series.append(value)
         while len(series) > self.history:
             series.popleft()
+        self._cache.clear()
+
+    def _cached_percentile(self, key: str, series: Deque) -> float:
+        value = self._cache.get(key)
+        if value is None:
+            value = float(np.percentile(list(series), self.percentile))
+            self._cache[key] = value
+        return value
 
     # -- predictions ------------------------------------------------------
     @property
@@ -63,19 +74,19 @@ class FunctionHistogram:
         """P99 inter-arrival interval; how long to keep memory warm."""
         if not self.intervals:
             return 0.0
-        return float(np.percentile(list(self.intervals), self.percentile))
+        return self._cached_percentile("window", self.intervals)
 
     @property
     def r_size(self) -> float:
         if not self.sizes:
             return 0.0
-        return float(np.percentile(list(self.sizes), self.percentile))
+        return self._cached_percentile("size", self.sizes)
 
     @property
     def r_con(self) -> float:
         if not self.concurrency:
             return 1.0
-        return float(np.percentile(list(self.concurrency), self.percentile))
+        return self._cached_percentile("con", self.concurrency)
 
     def reservation(self, now: float) -> float:
         """Bytes to keep reserved for this function at time *now*.

@@ -1,15 +1,21 @@
 """Statistics utilities: latency recorders, timelines, throughput search."""
 
 from repro.metrics.stats import (
+    DEFAULT_RESERVOIR_CAPACITY,
     LatencyRecorder,
+    ReservoirRecorder,
     SloTracker,
     Timeline,
     find_max_throughput,
+    reservoir_rank_error,
 )
 
 __all__ = [
+    "DEFAULT_RESERVOIR_CAPACITY",
     "LatencyRecorder",
+    "ReservoirRecorder",
     "SloTracker",
     "Timeline",
     "find_max_throughput",
+    "reservoir_rank_error",
 ]

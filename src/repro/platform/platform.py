@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.common.errors import SchedulingError
 from repro.common.units import MS
@@ -174,6 +174,8 @@ class ServerlessPlatform:
         autoscaler: Union[str, Autoscaler, None] = None,
         queue_policy: str = "fifo",
         stage_queue_limit: Optional[int] = None,
+        result_sink: Optional[Callable[[RequestResult], None]] = None,
+        keep_results: bool = True,
     ) -> None:
         self.env = env
         self.cluster = cluster
@@ -226,8 +228,22 @@ class ServerlessPlatform:
         self.queue = PendingQueue()
         plane.attach_queue_oracle(self.queue)
         self._instance_load: dict[str, int] = {}
+        # Result retirement: with a result_sink and keep_results=False,
+        # every completed RequestResult is folded into the sink and
+        # dropped, so memory stays flat in request count.  The default
+        # (no sink, keep_results=True) materializes the full lists the
+        # experiments assert on.
+        self.result_sink = result_sink
+        self.keep_results = keep_results
+        if not keep_results:
+            # The plane's per-transfer accounting records are the other
+            # per-request list; a streaming run drops them too (exact
+            # byte/copy counters survive, latency distributions do not).
+            plane.metrics.keep_records = False
         self.results: list[RequestResult] = []
         self.rejections: list[RequestRejected] = []
+        self.completed_count = 0
+        self.rejection_count = 0
         self._tracer = None
 
     # -- tracing -------------------------------------------------------------
@@ -390,6 +406,7 @@ class ServerlessPlatform:
                 cpu_resource=self.cpu_resources[node.node_id],
                 alias=stage.name,
             )
+        instance.keep_executions = self.keep_results
         return instance
 
     # -- replica scaling -------------------------------------------------------
@@ -562,7 +579,9 @@ class ServerlessPlatform:
                 ))
         if reject_reason is not None:
             outcome = lifecycle.reject(reject_reason)
-            self.rejections.append(outcome)
+            self.rejection_count += 1
+            if self.keep_results:
+                self.rejections.append(outcome)
             return outcome
         dispatch = deployment.next_dispatch()
         self.queue.enqueue(request_id)
@@ -619,7 +638,11 @@ class ServerlessPlatform:
             )
         self.queue.finish(request_id)
         result = lifecycle.finish()
-        self.results.append(result)
+        self.completed_count += 1
+        if self.result_sink is not None:
+            self.result_sink(result)
+        if self.keep_results:
+            self.results.append(result)
         return result
 
     def _run_stage(
@@ -809,6 +832,58 @@ class ServerlessPlatform:
             p.value for p in procs
             if p.triggered and p.ok and isinstance(p.value, RequestResult)
         ]
+
+    def run_trace_streaming(
+        self,
+        deployment: Deployment,
+        trace: Union[Trace, Iterable[float]],
+        drain: float = 60.0,
+        monitor=None,
+    ) -> int:
+        """Replay *trace* without retaining per-request state.
+
+        The bounded-memory counterpart of :meth:`run_trace`: arrivals
+        may come from any iterable (typically a generator-backed
+        :class:`~repro.traces.ArrivalStream`, so no arrival array is
+        materialized), per-request :class:`Process` handles are not
+        kept, and completed results reach only :attr:`result_sink`.
+        Callers who want the results list anyway can leave
+        ``keep_results=True``; the streaming harness sets it False.
+
+        ``monitor`` (a :class:`~repro.telemetry.heartbeat.RunMonitor`)
+        is ticked on every arrival so heartbeats fire even while a
+        burst keeps completions scarce.  Returns the number of
+        requests submitted; completions/rejections are available as
+        :attr:`completed_count` / :attr:`rejection_count`.
+        """
+        submitted = 0
+        config = getattr(trace, "config", None)
+        duration = config.duration if config is not None else None
+
+        def driver():
+            nonlocal submitted
+            last_arrival = self.env.now
+            for arrival in trace:
+                if arrival > self.env.now:
+                    yield self.env.timeout(arrival - self.env.now)
+                last_arrival = self.env.now
+                self.submit(deployment)
+                submitted += 1
+                if monitor is not None:
+                    monitor.tick()
+            if duration is None:
+                # No config to bound the horizon: idle out the drain
+                # window after the last arrival instead.
+                yield self.env.timeout(
+                    max(last_arrival + drain - self.env.now, 0.0)
+                )
+
+        self.env.process(driver())
+        if duration is not None:
+            self.env.run(until=self.env.now + duration + drain)
+        else:
+            self.env.run()
+        return submitted
 
     def run_traces(
         self,

@@ -35,12 +35,30 @@ from repro.telemetry.events import (
     TransferFinished,
     TransferStarted,
 )
-from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.heartbeat import RunMonitor, current_rss_bytes
+from repro.telemetry.metrics import (
+    BoundedGauge,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.telemetry.recorder import StandardMetrics, TraceRecorder
 from repro.telemetry.session import TelemetrySession, capture
+from repro.telemetry.sinks import (
+    ChromeStreamingSink,
+    JsonlEventSink,
+    StreamingSink,
+    decode_event,
+    encode_event,
+    iter_jsonl_events,
+    replay_metrics,
+)
 
 __all__ = [
     "AdmissionTokens",
+    "BoundedGauge",
+    "ChromeStreamingSink",
     "Counter",
     "EventBus",
     "FlowFinished",
@@ -48,6 +66,7 @@ __all__ = [
     "FlowsReallocated",
     "Gauge",
     "Histogram",
+    "JsonlEventSink",
     "MetricsRegistry",
     "PlacementDecision",
     "PlaneInfo",
@@ -57,18 +76,25 @@ __all__ = [
     "RequestArrived",
     "RequestFinished",
     "RouteSelected",
+    "RunMonitor",
     "StageQueueDepth",
     "StageSpan",
     "StandardMetrics",
     "StoreEvict",
     "StoreGet",
     "StorePut",
+    "StreamingSink",
     "TelemetryEvent",
     "TelemetrySession",
     "TraceRecorder",
     "TransferFinished",
     "TransferStarted",
     "capture",
+    "current_rss_bytes",
+    "decode_event",
+    "encode_event",
     "export_chrome_trace",
+    "iter_jsonl_events",
+    "replay_metrics",
     "to_trace_events",
 ]

@@ -93,8 +93,12 @@ def _counter(name: str, t: float, pid: str, tid: str, values: dict) -> dict:
     }
 
 
-def _convert(event: TelemetryEvent, pid_prefix: str) -> list[dict]:
-    """One telemetry event -> zero or more trace_event dicts."""
+def convert_event(event: TelemetryEvent, pid_prefix: str = "") -> list[dict]:
+    """One telemetry event -> zero or more trace_event dicts.
+
+    Shared by the batch exporter below and the streaming
+    :class:`~repro.telemetry.sinks.ChromeStreamingSink`.
+    """
     p = pid_prefix
     if isinstance(event, FlowFinished):
         # One slice per link hop: every link is its own thread, so
@@ -190,16 +194,19 @@ def to_trace_events(
     for item in events:
         run, event = item if isinstance(item, tuple) else (0, item)
         prefix = f"run{run}:" if multi_run else ""
-        for record in _convert(event, prefix):
+        for record in convert_event(event, prefix):
             pids.add(record["pid"])
             trace.append(record)
-    # Metadata so Perfetto labels each process with its node name.
-    meta = [
+    return process_metadata(pids) + trace
+
+
+def process_metadata(pids: Iterable[str]) -> list[dict]:
+    """Metadata records so Perfetto labels each process with its name."""
+    return [
         {"name": "process_name", "ph": "M", "ts": 0.0, "pid": pid,
          "tid": "meta", "args": {"name": pid}}
         for pid in sorted(pids)
     ]
-    return meta + trace
 
 
 def export_chrome_trace(

@@ -65,6 +65,7 @@ class StandardMetrics:
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
+        self._subscriptions: list[tuple[EventBus, dict]] = []
         reg = self.registry
         # Eager registration: the summary always lists every namespace.
         for name in (
@@ -73,6 +74,7 @@ class StandardMetrics:
             "net.bytes_moved",
             "storage.puts",
             "storage.gets",
+            "storage.bytes_put",
             "storage.evictions",
             "storage.evicted_bytes",
             "memory.allocs",
@@ -107,7 +109,20 @@ class StandardMetrics:
         }
         for event_type, handler in handlers.items():
             bus.subscribe(event_type, handler)
+        self._subscriptions.append((bus, handlers))
         return self
+
+    def detach(self) -> None:
+        """Unsubscribe every handler from every bus it was attached to.
+
+        Mirrors :meth:`TraceRecorder.detach`: a registry reused across
+        ``capture()`` sessions would otherwise keep all handlers
+        subscribed forever and double-count events on a re-attach.
+        """
+        for bus, handlers in self._subscriptions:
+            for event_type, handler in handlers.items():
+                bus.unsubscribe(event_type, handler)
+        self._subscriptions.clear()
 
     # -- net -----------------------------------------------------------------
     def _on_flow_started(self, event: FlowStarted) -> None:

@@ -1,0 +1,315 @@
+"""Streaming telemetry sinks: spool the event bus to disk incrementally.
+
+The in-memory :class:`~repro.telemetry.TraceRecorder` and session
+event lists hold every published event in RAM, which caps a run at a
+few thousand requests.  A :class:`StreamingSink` consumes the bus
+incrementally instead: events are serialized into a bounded write
+buffer and flushed to disk whenever the buffer crosses an event-count
+or byte threshold, so telemetry stays complete on disk while the
+process footprint stays flat.
+
+Two writers are provided:
+
+- :class:`JsonlEventSink` — one JSON object per line per event,
+  lossless: :func:`iter_jsonl_events` reconstructs the original typed
+  event stream, so a spooled run can be replayed through
+  :class:`~repro.telemetry.StandardMetrics` (or any other bus
+  consumer) after the fact.  ``compress=True`` writes gzip.
+- :class:`ChromeStreamingSink` — Chrome/Perfetto ``trace_event``
+  records in the *JSON Array Format* (a bare ``[...]`` array), which
+  the trace viewers explicitly accept without the closing ``]`` — a
+  crashed run's partial spool is still loadable.
+
+Crash-safety contract: every flush pushes whole lines/records to the
+OS, a partially written trailing line (the process died mid-``write``)
+is tolerated and skipped by the reader, and :meth:`close` finalizes
+the file (idempotent; both sinks are context managers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import io
+import json
+import os
+from typing import IO, Iterable, Iterator, Optional, Protocol, Union
+
+from repro.common.errors import ConfigError
+from repro.telemetry import events as _events_module
+from repro.telemetry.bus import EventBus
+from repro.telemetry.chrome import convert_event, process_metadata
+from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.recorder import StandardMetrics
+
+DEFAULT_FLUSH_EVENTS = 1024
+DEFAULT_FLUSH_BYTES = 1 << 20  # 1 MiB
+
+#: Registry of every concrete event type, by class name — the JSONL
+#: schema's ``type`` field.  Built once from the events module, so a
+#: new event type is spool-able the moment it is defined there.
+EVENT_TYPES: dict[str, type] = {
+    name: obj
+    for name, obj in vars(_events_module).items()
+    if isinstance(obj, type)
+    and issubclass(obj, TelemetryEvent)
+    and dataclasses.is_dataclass(obj)
+}
+
+
+class StreamingSink(Protocol):
+    """Anything that can consume a session's event stream incrementally."""
+
+    def handle(self, run: int, event: TelemetryEvent) -> None:
+        """Consume one event from run *run* (called in publish order)."""
+
+    def flush(self) -> None:
+        """Push buffered output to the OS."""
+
+    def close(self) -> None:
+        """Flush and finalize the output (idempotent)."""
+
+
+# -- serialization -----------------------------------------------------------
+
+def encode_event(run: int, event: TelemetryEvent) -> dict:
+    """One event -> a flat JSON-able record (``run`` + ``type`` + fields)."""
+    record = {"run": run, "type": type(event).__name__}
+    for f in dataclasses.fields(event):
+        record[f.name] = getattr(event, f.name)
+    return record
+
+
+def _untuple(value):
+    """JSON turned the event's tuples into lists; turn them back."""
+    if isinstance(value, list):
+        return tuple(_untuple(item) for item in value)
+    return value
+
+
+def decode_event(record: dict) -> tuple[int, TelemetryEvent]:
+    """Inverse of :func:`encode_event`; raises on unknown event types."""
+    data = dict(record)
+    run = data.pop("run")
+    type_name = data.pop("type")
+    cls = EVENT_TYPES.get(type_name)
+    if cls is None:
+        raise ConfigError(f"unknown telemetry event type {type_name!r}")
+    return run, cls(**{key: _untuple(val) for key, val in data.items()})
+
+
+# -- sink implementations ----------------------------------------------------
+
+class _BufferedFileSink:
+    """Shared buffering/accounting for file-backed sinks."""
+
+    def __init__(
+        self,
+        path: str,
+        flush_events: int = DEFAULT_FLUSH_EVENTS,
+        flush_bytes: int = DEFAULT_FLUSH_BYTES,
+    ) -> None:
+        if flush_events < 1 or flush_bytes < 1:
+            raise ConfigError("flush thresholds must be >= 1")
+        self.path = os.fspath(path)
+        self.flush_events = flush_events
+        self.flush_bytes = flush_bytes
+        self._buffer: list[str] = []
+        self._buffer_bytes = 0
+        self._file: Optional[IO[str]] = self._open()
+        self.events_handled = 0
+        self.records_written = 0
+        self.bytes_written = 0
+        self.flushes = 0
+
+    def _open(self) -> IO[str]:
+        return open(self.path, "w")
+
+    @property
+    def backlog(self) -> int:
+        """Records buffered in memory, not yet pushed to the OS."""
+        return len(self._buffer)
+
+    @property
+    def closed(self) -> bool:
+        return self._file is None
+
+    def _append(self, text: str) -> None:
+        if self._file is None:
+            raise ConfigError(f"sink {self.path} is closed")
+        self._buffer.append(text)
+        self._buffer_bytes += len(text)
+        if (len(self._buffer) >= self.flush_events
+                or self._buffer_bytes >= self.flush_bytes):
+            self.flush()
+
+    def flush(self) -> None:
+        if self._file is None or not self._buffer:
+            return
+        chunk = "".join(self._buffer)
+        self._file.write(chunk)
+        self._file.flush()
+        self.records_written += len(self._buffer)
+        self.bytes_written += len(chunk)
+        self.flushes += 1
+        self._buffer.clear()
+        self._buffer_bytes = 0
+
+    def close(self) -> None:
+        if self._file is None:
+            return
+        self.flush()
+        self._finalize(self._file)
+        self._file.close()
+        self._file = None
+
+    def _finalize(self, file: IO[str]) -> None:
+        """Hook for format-level trailers, written before close."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class JsonlEventSink(_BufferedFileSink):
+    """Spools the raw event stream as one JSON line per event.
+
+    Lossless: the file (optionally gzip-compressed when ``compress=True``
+    or the path ends in ``.gz``) replays into the identical typed event
+    stream via :func:`iter_jsonl_events`.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        flush_events: int = DEFAULT_FLUSH_EVENTS,
+        flush_bytes: int = DEFAULT_FLUSH_BYTES,
+        compress: Optional[bool] = None,
+    ) -> None:
+        self.compress = (
+            compress
+            if compress is not None
+            else os.fspath(path).endswith(".gz")
+        )
+        super().__init__(path, flush_events, flush_bytes)
+
+    def _open(self) -> IO[str]:
+        if self.compress:
+            return gzip.open(self.path, "wt")
+        return open(self.path, "w")
+
+    def handle(self, run: int, event: TelemetryEvent) -> None:
+        self.events_handled += 1
+        self._append(
+            json.dumps(encode_event(run, event), separators=(",", ":"))
+            + "\n"
+        )
+
+
+class ChromeStreamingSink(_BufferedFileSink):
+    """Streams Chrome/Perfetto ``trace_event`` records as they happen.
+
+    Writes the JSON *Array Format* (``[`` + comma-separated records):
+    the trace viewers accept it without the closing ``]``, so a run
+    that dies mid-flight still leaves a loadable trace.  ``close()``
+    appends per-process name metadata and the terminator.
+
+    ``multi_run`` mirrors :func:`~repro.telemetry.export_chrome_trace`:
+    a streaming sink cannot know the final run count up front, so it
+    defaults to prefixing pids with ``run<N>:`` — pass ``False`` for
+    single-run captures that should match the batch exporter's output.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        multi_run: bool = True,
+        flush_events: int = DEFAULT_FLUSH_EVENTS,
+        flush_bytes: int = DEFAULT_FLUSH_BYTES,
+    ) -> None:
+        super().__init__(path, flush_events, flush_bytes)
+        self.multi_run = multi_run
+        self._pids: set[str] = set()
+        self._first = True
+
+    def _open(self) -> IO[str]:
+        file = open(self.path, "w")
+        file.write("[\n")
+        return file
+
+    def _record(self, record: dict) -> None:
+        prefix = "" if self._first else ",\n"
+        self._first = False
+        self._append(prefix + json.dumps(record, separators=(",", ":")))
+
+    def handle(self, run: int, event: TelemetryEvent) -> None:
+        self.events_handled += 1
+        prefix = f"run{run}:" if self.multi_run else ""
+        for record in convert_event(event, prefix):
+            self._pids.add(record["pid"])
+            self._record(record)
+
+    def _finalize(self, file: IO[str]) -> None:
+        trailer = io.StringIO()
+        for record in process_metadata(self._pids):
+            trailer.write("" if self._first else ",\n")
+            self._first = False
+            trailer.write(json.dumps(record, separators=(",", ":")))
+        trailer.write("\n]\n")
+        file.write(trailer.getvalue())
+
+
+# -- replay ------------------------------------------------------------------
+
+def iter_jsonl_events(
+    path: str,
+) -> Iterator[tuple[int, TelemetryEvent]]:
+    """Replay a :class:`JsonlEventSink` spool as ``(run, event)`` pairs.
+
+    A partially written final line (the writer crashed mid-append) is
+    skipped; a corrupt line anywhere else raises, since that means the
+    file is damaged rather than merely truncated.
+    """
+    path = os.fspath(path)
+    opener = gzip.open if path.endswith(".gz") else open
+    with opener(path, "rt") as handle:
+        pending: Optional[str] = None
+        for line in handle:
+            if pending is not None:
+                yield decode_event(json.loads(pending))
+            pending = line
+        if pending is not None:
+            try:
+                record = json.loads(pending)
+            except json.JSONDecodeError:
+                return  # truncated trailing line: tolerated
+            yield decode_event(record)
+
+
+def replay_metrics(
+    source: Union[str, Iterable[tuple[int, TelemetryEvent]]],
+    mode: str = "exact",
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Fold a spooled (or in-memory) event stream into a fresh registry.
+
+    This is the differential oracle path: replaying a JSONL spool in
+    ``exact`` mode reproduces the live in-memory summary bit-for-bit;
+    in ``bounded`` mode the reservoir seeds derive from metric names,
+    so a bounded replay also matches a live bounded registry exactly.
+    """
+    if registry is None:
+        registry = MetricsRegistry(mode=mode)
+    bus = EventBus()
+    consumer = StandardMetrics(registry).attach(bus)
+    if isinstance(source, (str, os.PathLike)):
+        source = iter_jsonl_events(source)
+    try:
+        for _run, event in source:
+            bus.publish(event)
+    finally:
+        consumer.detach()
+    return registry

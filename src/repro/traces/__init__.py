@@ -2,20 +2,26 @@
 
 from repro.traces.azure import (
     PATTERNS,
+    ArrivalStream,
     Trace,
     TraceConfig,
     generate_arrivals,
+    iter_arrivals,
     load_trace,
     make_trace,
     save_trace,
+    stream_trace,
 )
 
 __all__ = [
     "PATTERNS",
+    "ArrivalStream",
     "Trace",
     "TraceConfig",
     "generate_arrivals",
+    "iter_arrivals",
     "load_trace",
     "make_trace",
     "save_trace",
+    "stream_trace",
 ]

@@ -16,7 +16,7 @@ All generators return sorted arrival times in seconds within
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -105,6 +105,112 @@ def generate_arrivals(cfg: TraceConfig) -> np.ndarray:
     if cfg.pattern == "periodic":
         return _periodic_arrivals(rng, cfg)
     return _bursty_arrivals(rng, cfg)
+
+
+# -- streaming generation ------------------------------------------------------
+
+def _iter_poisson(rng: np.random.Generator, rate: float, start: float,
+                  end: float) -> Iterator[float]:
+    """Homogeneous Poisson arrivals in [start, end) via exponential gaps."""
+    if rate <= 0:
+        return
+    t = start + float(rng.exponential(1.0 / rate))
+    while t < end:
+        yield t
+        t += float(rng.exponential(1.0 / rate))
+
+
+def _iter_periodic(rng: np.random.Generator, cfg: TraceConfig) -> Iterator[float]:
+    """Sinusoid-modulated Poisson by thinning a peak-rate stream."""
+    peak = cfg.rate * (1 + cfg.amplitude)
+    for t in _iter_poisson(rng, peak, 0.0, cfg.duration):
+        instantaneous = cfg.rate * (
+            1 + cfg.amplitude * np.sin(2 * np.pi * t / cfg.period)
+        )
+        if rng.uniform(0.0, peak) < instantaneous:
+            yield t
+
+
+def _iter_bursty(rng: np.random.Generator, cfg: TraceConfig) -> Iterator[float]:
+    """On/off modulated Poisson, one phase at a time (same rate balance
+    as :func:`_bursty_arrivals`)."""
+    off_weight = 1 - cfg.burst_fraction
+    on_rate = cfg.rate * cfg.burst_factor
+    off_rate = (cfg.rate - cfg.burst_fraction * on_rate) / off_weight
+    floor = 0.1 * cfg.rate
+    if off_rate < floor:
+        off_rate = floor
+        on_rate = (cfg.rate - off_weight * off_rate) / cfg.burst_fraction
+    mean_off_len = cfg.mean_burst_len * off_weight / cfg.burst_fraction
+    t = 0.0
+    bursting = rng.uniform() < cfg.burst_fraction
+    while t < cfg.duration:
+        span = rng.exponential(
+            cfg.mean_burst_len if bursting else mean_off_len
+        )
+        span = min(span, cfg.duration - t)
+        rate = on_rate if bursting else off_rate
+        if rate > 0 and span > 0:
+            yield from _iter_poisson(rng, rate, t, t + span)
+        t += span
+        bursting = not bursting
+
+
+def iter_arrivals(cfg: TraceConfig) -> Iterator[float]:
+    """Yield sorted arrival times one at a time in O(1) memory.
+
+    Deterministic per seed, like :func:`generate_arrivals`, but drawn
+    incrementally (exponential inter-arrival gaps instead of
+    count-then-sort), so the stream's samples differ from the
+    materialized array while following the identical arrival process.
+    Use this for trace runs too large to hold an arrival array.
+    """
+    rng = np.random.default_rng(cfg.seed)
+    if cfg.pattern == "sporadic":
+        yield from _iter_poisson(rng, cfg.rate, 0.0, cfg.duration)
+    elif cfg.pattern == "periodic":
+        yield from _iter_periodic(rng, cfg)
+    else:
+        yield from _iter_bursty(rng, cfg)
+
+
+@dataclass(frozen=True)
+class ArrivalStream:
+    """A generator-backed trace: no materialized arrival array.
+
+    Duck-compatible with :class:`Trace` where replay only needs
+    iteration plus ``config`` (``ServerlessPlatform.run_trace`` and
+    ``run_trace_streaming`` both qualify).  ``limit`` caps the number
+    of arrivals yielded, which is how the end-to-end benchmarks pin an
+    exact request count.  Iterating twice restarts the same
+    deterministic stream.
+    """
+
+    config: TraceConfig
+    limit: Optional[int] = None
+
+    def __iter__(self) -> Iterator[float]:
+        import itertools
+
+        arrivals = iter_arrivals(self.config)
+        if self.limit is None:
+            return arrivals
+        return itertools.islice(arrivals, self.limit)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.config.rate
+
+
+def stream_trace(pattern: str, rate: float, duration: float, seed: int = 0,
+                 limit: Optional[int] = None, **kwargs) -> ArrivalStream:
+    """Streaming counterpart of :func:`make_trace`."""
+    return ArrivalStream(
+        config=TraceConfig(
+            pattern=pattern, rate=rate, duration=duration, seed=seed, **kwargs
+        ),
+        limit=limit,
+    )
 
 
 @dataclass

@@ -1,0 +1,132 @@
+"""End-to-end bench suite: registry, RSS check, CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    ENDTOEND_BENCHMARKS,
+    RSS_RATIO_THRESHOLD,
+    bench_endtoend,
+    format_endtoend_summary,
+    rss_check,
+    run_endtoend_benchmarks,
+)
+from repro.bench.endtoend import DEFAULT_SELECTION
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def one_run():
+    return bench_endtoend(requests=120, rate=6.0, telemetry="bounded")
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(ENDTOEND_BENCHMARKS) == {
+            "requests_10k", "requests_100k", "requests_1m",
+        }
+
+    def test_million_run_is_opt_in(self):
+        assert "requests_1m" not in DEFAULT_SELECTION
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            run_endtoend_benchmarks(names=["requests_17"])
+
+
+class TestBenchRun:
+    def test_run_shape(self, one_run):
+        run = one_run
+        assert run["submitted"] == 120
+        assert run["completed"] + run["rejected"] == 120
+        assert run["results_retained"] == 0
+        assert run["peak_rss_bytes"] > 0
+        assert run["events_spooled"] > 0
+        assert run["spool_bytes"] > 0
+        assert run["aggregate"]["mode"] == "bounded"
+        assert run["aggregate"]["count"] == run["completed"]
+
+    def test_telemetry_off_skips_spooling(self):
+        run = bench_endtoend(requests=40, telemetry="off")
+        assert run["events_spooled"] == 0
+        assert run["spool_bytes"] == 0
+        assert run["completed"] > 0
+
+    def test_spool_dir_keeps_the_events(self, tmp_path):
+        from repro.telemetry import iter_jsonl_events
+
+        run = bench_endtoend(
+            requests=40, spool_dir=str(tmp_path), compress=False
+        )
+        spool = tmp_path / "events_40.jsonl"
+        assert spool.exists()
+        events = list(iter_jsonl_events(spool))
+        assert len(events) == run["events_spooled"]
+
+    def test_invalid_telemetry_mode(self):
+        with pytest.raises(ValueError, match="unknown telemetry mode"):
+            bench_endtoend(requests=10, telemetry="approximate")
+
+
+class TestRssCheck:
+    def _fake(self, name, requests, rss):
+        return {
+            "name": name,
+            "config": {"requests": requests},
+            "peak_rss_bytes": rss,
+        }
+
+    def test_flat_memory_passes(self):
+        check = rss_check([
+            self._fake("requests_10k", 10_000, 100),
+            self._fake("requests_100k", 100_000, 120),
+        ])
+        assert check["ok"]
+        assert check["ratio"] == pytest.approx(1.2)
+        assert check["threshold"] == RSS_RATIO_THRESHOLD
+
+    def test_memory_blowup_fails(self):
+        check = rss_check([
+            self._fake("requests_10k", 10_000, 100),
+            self._fake("requests_100k", 100_000, 1000),
+        ])
+        assert not check["ok"]
+
+    def test_single_run_has_no_check(self):
+        assert rss_check([self._fake("requests_10k", 10_000, 100)]) is None
+
+
+class TestCli:
+    def test_cli_writes_document_and_summary(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_endtoend.json"
+        code = main([
+            "bench", "requests_10k", "--suite", "endtoend",
+            "--quick", "--out", str(out),
+        ])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["generated_by"] == "repro bench --suite endtoend"
+        assert document["mode"] == "quick"
+        assert document["benchmarks"][0]["name"] == "requests_500"
+        assert "rss_check" not in document  # single scale: no ratio
+        captured = capsys.readouterr().out
+        assert "requests_500" in captured
+        assert str(out) in captured
+
+    def test_format_summary_includes_verdict(self, one_run):
+        second = dict(one_run)
+        second["name"] = "requests_240"
+        second["config"] = dict(one_run["config"], requests=240)
+        doc = {"benchmarks": [one_run, second]}
+        doc["rss_check"] = rss_check(doc["benchmarks"])
+        text = format_endtoend_summary(doc)
+        assert "rss ratio" in text
+        assert "threshold" in text
+
+    def test_unknown_bench_name_is_a_usage_error(self, capsys):
+        code = main([
+            "bench", "nope", "--suite", "endtoend", "--quick",
+        ])
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().err

@@ -43,3 +43,48 @@ class TestTraceCommand:
         assert "telemetry metrics" in out
         # The capture hook must not leak past the command.
         assert Environment.telemetry_hook is None
+
+    def test_trace_stream_spools_incrementally(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main([
+            "trace", "fig13", "--quick", "--quiet", "--stream",
+            "--out", str(path),
+        ])
+        assert code == 0
+        with open(path) as handle:
+            doc = json.load(handle)  # finalized: full valid JSON array
+        assert doc
+        phases = {event["ph"] for event in doc}
+        assert "M" in phases
+        out = capsys.readouterr().out
+        assert "streamed" in out
+        assert "critical-path track unavailable" in out
+        for namespace in ("net", "storage", "memory", "scheduler"):
+            assert namespace in out
+        assert Environment.telemetry_hook is None
+
+    def test_stream_and_batch_trace_same_events(self, tmp_path):
+        batch = tmp_path / "batch.json"
+        stream = tmp_path / "stream.json"
+        assert main([
+            "trace", "fig13", "--quick", "--quiet", "--out", str(batch),
+        ]) == 0
+        assert main([
+            "trace", "fig13", "--quick", "--quiet", "--stream",
+            "--out", str(stream),
+        ]) == 0
+        with open(batch) as handle:
+            batch_doc = json.load(handle)["traceEvents"]
+        with open(stream) as handle:
+            stream_doc = json.load(handle)
+        # The batch path appends the profiler's critical-path track and
+        # metadata; the streamed file must contain exactly the bus
+        # events both saw, under the same pids.
+        batch_bus = [
+            e for e in batch_doc
+            if e["ph"] != "M" and not e["pid"].endswith("critical-path")
+        ]
+        stream_bus = [e for e in stream_doc if e["ph"] != "M"]
+        assert len(stream_bus) == len(batch_bus)
+        assert {e["pid"] for e in stream_bus} == \
+            {e["pid"] for e in batch_bus}

@@ -1,0 +1,107 @@
+"""Property suite: reservoir quantiles vs the exact oracle.
+
+The documented contract (``repro.metrics.reservoir_rank_error``) is a
+*rank-space* bound: a reservoir of capacity k estimates the p-th
+percentile with rank error at most ``4.9 * sqrt(p(1-p)/k)`` percentile
+points (~5 sigma, so over the 100-distribution sweep below a handful
+of near-misses would indicate a real defect, not bad luck).  Each
+seeded distribution is checked by bracketing: the approximate p50/p99
+must land between the exact percentiles at ``p - err`` and ``p + err``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    DEFAULT_RESERVOIR_CAPACITY,
+    LatencyRecorder,
+    ReservoirRecorder,
+    reservoir_rank_error,
+)
+
+N_DISTRIBUTIONS = 100
+SAMPLES_PER_DISTRIBUTION = 5000
+
+
+def _draw(seed: int) -> np.ndarray:
+    """One of four latency-shaped distributions, rotated by seed."""
+    rng = np.random.default_rng(seed)
+    family = seed % 4
+    n = SAMPLES_PER_DISTRIBUTION
+    if family == 0:
+        return rng.lognormal(mean=3.0, sigma=1.0, size=n)
+    if family == 1:
+        return rng.exponential(scale=40.0, size=n)
+    if family == 2:
+        return rng.uniform(1.0, 500.0, size=n)
+    # Bimodal: fast path + heavy tail, the shape that breaks naive
+    # fixed-bucket histograms.
+    fast = rng.normal(10.0, 2.0, size=n // 2)
+    slow = rng.normal(300.0, 50.0, size=n - n // 2)
+    return np.abs(np.concatenate([fast, slow]))
+
+
+def _bracket(samples: np.ndarray, p: float) -> tuple[float, float]:
+    err = reservoir_rank_error(p)
+    lo = float(np.percentile(samples, max(p - err, 0.0)))
+    hi = float(np.percentile(samples, min(p + err, 100.0)))
+    return lo, hi
+
+
+@pytest.mark.parametrize("seed", range(N_DISTRIBUTIONS))
+def test_quantiles_within_documented_rank_error(seed):
+    samples = _draw(seed)
+    exact = LatencyRecorder()
+    approx = ReservoirRecorder(f"prop.{seed}")
+    exact.extend(samples.tolist())
+    approx.extend(samples.tolist())
+    for p in (50.0, 99.0):
+        lo, hi = _bracket(samples, p)
+        value = approx.percentile(p)
+        assert lo <= value <= hi, (
+            f"seed={seed} p{p}: approx {value} outside exact "
+            f"[{lo}, {hi}] (rank err {reservoir_rank_error(p):.2f} pts)"
+        )
+    # Non-quantile stats are exact regardless of the reservoir.
+    assert len(approx) == len(exact) == len(samples)
+    assert approx.mean == pytest.approx(exact.mean)
+    assert approx.minimum == exact.minimum
+    assert approx.maximum == exact.maximum
+
+
+class TestReservoirMechanics:
+    def test_below_capacity_is_exact(self):
+        exact = LatencyRecorder()
+        approx = ReservoirRecorder("small", capacity=256)
+        values = list(np.random.default_rng(7).exponential(10.0, 200))
+        exact.extend(values)
+        approx.extend(values)
+        for p in (1.0, 50.0, 99.0, 100.0):
+            assert approx.percentile(p) == exact.percentile(p)
+
+    def test_deterministic_per_name_and_seed(self):
+        values = list(np.random.default_rng(1).exponential(10.0, 20_000))
+        a = ReservoirRecorder("net.flow_ms")
+        b = ReservoirRecorder("net.flow_ms")
+        a.extend(values)
+        b.extend(values)
+        assert a.samples == b.samples
+
+    def test_different_names_draw_different_reservoirs(self):
+        values = list(np.random.default_rng(1).exponential(10.0, 20_000))
+        a = ReservoirRecorder("net.flow_ms")
+        b = ReservoirRecorder("storage.get_ms")
+        a.extend(values)
+        b.extend(values)
+        assert a.samples != b.samples
+
+    def test_memory_is_bounded(self):
+        approx = ReservoirRecorder("bounded", capacity=128)
+        approx.extend(float(i) for i in range(50_000))
+        assert len(approx.samples) == 128
+        assert len(approx) == 50_000
+
+    def test_rank_error_shrinks_with_capacity(self):
+        assert reservoir_rank_error(99.0, capacity=16_384) < \
+            reservoir_rank_error(99.0, capacity=DEFAULT_RESERVOIR_CAPACITY)
+        assert reservoir_rank_error(50.0) > reservoir_rank_error(99.0)

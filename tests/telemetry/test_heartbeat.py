@@ -1,0 +1,101 @@
+"""Run monitor: heartbeat cadence, RSS sampling, sink accounting."""
+
+import io
+
+from repro.telemetry import RunMonitor, current_rss_bytes
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class FakeSink:
+    def __init__(self, backlog=0, events_handled=0):
+        self.backlog = backlog
+        self.events_handled = events_handled
+
+
+class FakeEnv:
+    now = 42.5
+
+
+def test_current_rss_is_positive_and_plausible():
+    rss = current_rss_bytes()
+    assert 1_000_000 < rss < 1 << 40  # >1MB, <1TB
+
+
+class TestHeartbeat:
+    def test_tick_respects_interval(self):
+        clock, out = FakeClock(), io.StringIO()
+        monitor = RunMonitor(interval=5.0, stream=out, now=clock)
+        monitor.tick(done=1)
+        assert monitor.beats == 0  # interval not yet elapsed
+        clock.t = 5.1
+        monitor.tick(done=2)
+        assert monitor.beats == 1
+        clock.t = 7.0
+        monitor.tick(done=3)
+        assert monitor.beats == 1  # still inside the next interval
+
+    def test_beat_line_contents(self):
+        clock, out = FakeClock(), io.StringIO()
+        monitor = RunMonitor(
+            env=FakeEnv(), interval=1.0, label="endtoend",
+            sinks=[FakeSink(backlog=7, events_handled=1234)],
+            stream=out, now=clock,
+        )
+        clock.t = 2.0
+        monitor.tick(done=10)
+        line = out.getvalue()
+        assert "[hb endtoend]" in line
+        assert "sim=42.5s" in line
+        assert "done=10" in line
+        assert "backlog=7" in line
+        assert "spooled=1234" in line
+
+    def test_disabled_interval_never_prints_but_samples_rss(self):
+        clock, out = FakeClock(), io.StringIO()
+        monitor = RunMonitor(interval=0.0, stream=out, now=clock)
+        clock.t = 100.0
+        monitor.tick(done=5)
+        assert out.getvalue() == ""
+        assert monitor.peak_rss_bytes > 0
+
+    def test_rate_is_delta_based(self):
+        clock, out = FakeClock(), io.StringIO()
+        monitor = RunMonitor(interval=1.0, stream=out, now=clock)
+        clock.t = 2.0
+        monitor.tick(done=20)
+        clock.t = 4.0
+        monitor.tick(done=30)
+        lines = out.getvalue().splitlines()
+        assert "(+20 @ 10/s)" in lines[0]
+        assert "(+10 @ 5/s)" in lines[1]
+
+
+class TestWrap:
+    def test_wrap_chains_sink_and_counts(self):
+        clock = FakeClock()
+        monitor = RunMonitor(interval=0.0, now=clock)
+        seen = []
+        observe = monitor.wrap(seen.append)
+        observe("r1")
+        observe("r2")
+        assert seen == ["r1", "r2"]
+        assert monitor.done == 2
+
+    def test_wrap_without_inner_sink(self):
+        monitor = RunMonitor(interval=0.0, now=FakeClock())
+        observe = monitor.wrap()
+        observe(object())
+        assert monitor.done == 1
+
+    def test_peak_rss_monotonic(self):
+        monitor = RunMonitor(interval=0.0, now=FakeClock())
+        first = monitor.peak_rss_bytes
+        monitor.sample_rss()
+        assert monitor.peak_rss_bytes >= first

@@ -1,0 +1,74 @@
+"""StandardMetrics attach/detach symmetry and eager registration."""
+
+from repro.telemetry import EventBus, MetricsRegistry, StandardMetrics
+from repro.telemetry.events import StorePut
+
+
+def put(t=1.0, size=1024.0):
+    return StorePut(t=t, object_id="o1", device_id="n0:g0",
+                    size=size, placement="gpu")
+
+
+class TestDetach:
+    def test_detach_stops_counting(self):
+        registry = MetricsRegistry()
+        consumer = StandardMetrics(registry)
+        bus = EventBus()
+        consumer.attach(bus)
+        bus.publish(put())
+        before = registry.counter("storage.puts").value
+        consumer.detach()
+        bus.publish(put(t=2.0))
+        assert registry.counter("storage.puts").value == before == 1
+
+    def test_detach_covers_every_attached_bus(self):
+        registry = MetricsRegistry()
+        consumer = StandardMetrics(registry)
+        buses = [EventBus(), EventBus()]
+        for bus in buses:
+            consumer.attach(bus)
+        consumer.detach()
+        for bus in buses:
+            bus.publish(put())
+        assert registry.counter("storage.puts").value == 0
+
+    def test_reattach_after_detach_does_not_double_count(self):
+        registry = MetricsRegistry()
+        consumer = StandardMetrics(registry)
+        bus = EventBus()
+        consumer.attach(bus)
+        consumer.detach()
+        consumer.attach(bus)
+        bus.publish(put())
+        assert registry.counter("storage.puts").value == 1
+
+    def test_detach_is_idempotent(self):
+        consumer = StandardMetrics(MetricsRegistry())
+        consumer.attach(EventBus())
+        consumer.detach()
+        consumer.detach()
+
+
+class TestEagerRegistration:
+    def test_bytes_put_present_without_any_events(self):
+        registry = MetricsRegistry()
+        StandardMetrics(registry)
+        storage = registry.summary()["storage"]
+        assert storage["bytes_put"]["value"] == 0
+        assert storage["puts"]["value"] == 0
+
+    def test_summary_shape_is_identical_for_idle_and_active(self):
+        idle = MetricsRegistry()
+        StandardMetrics(idle)
+        active = MetricsRegistry()
+        consumer = StandardMetrics(active)
+        bus = EventBus()
+        consumer.attach(bus)
+        bus.publish(put())
+
+        def shape(summary):
+            return {
+                ns: set(metrics) for ns, metrics in summary.items()
+            }
+
+        assert shape(idle.summary()) == shape(active.summary())

@@ -1,0 +1,62 @@
+"""Generator-backed arrival streams (O(1)-memory trace replay)."""
+
+import itertools
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.traces import ArrivalStream, TraceConfig, iter_arrivals, stream_trace
+
+CONFIGS = [
+    TraceConfig("sporadic", rate=20.0, duration=60.0, seed=3),
+    TraceConfig("periodic", rate=20.0, duration=60.0, seed=3),
+    TraceConfig("bursty", rate=20.0, duration=60.0, seed=3),
+]
+
+
+@pytest.mark.parametrize("cfg", CONFIGS, ids=lambda c: c.pattern)
+class TestIterArrivals:
+    def test_sorted_and_in_range(self, cfg):
+        arrivals = list(iter_arrivals(cfg))
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= t < cfg.duration for t in arrivals)
+
+    def test_deterministic_per_seed(self, cfg):
+        assert list(iter_arrivals(cfg)) == list(iter_arrivals(cfg))
+
+    def test_mean_rate_is_close(self, cfg):
+        # 1200 expected arrivals; allow a generous 4-sigma-ish band.
+        count = sum(1 for _ in iter_arrivals(cfg))
+        expected = cfg.rate * cfg.duration
+        assert abs(count - expected) < 5 * expected**0.5 + 0.05 * expected
+
+    def test_lazy_prefix_consumption(self, cfg):
+        # Only the consumed prefix is ever drawn: no arrival array.
+        first_ten = list(itertools.islice(iter_arrivals(cfg), 10))
+        assert len(first_ten) == 10
+        assert first_ten == list(iter_arrivals(cfg))[:10]
+
+
+class TestArrivalStream:
+    def test_limit_caps_count(self):
+        stream = stream_trace(
+            "sporadic", rate=50.0, duration=1000.0, seed=0, limit=37
+        )
+        assert len(list(stream)) == 37
+
+    def test_reiterable(self):
+        stream = stream_trace("bursty", rate=10.0, duration=30.0, seed=1)
+        assert list(stream) == list(stream)
+
+    def test_duck_compatible_with_trace(self):
+        stream = stream_trace("sporadic", rate=5.0, duration=10.0)
+        assert stream.config.duration == 10.0
+        assert stream.mean_rate == 5.0
+
+    def test_unlimited_stream_yields_all(self):
+        cfg = TraceConfig("sporadic", rate=10.0, duration=20.0, seed=2)
+        assert list(ArrivalStream(cfg)) == list(iter_arrivals(cfg))
+
+    def test_config_validation_still_applies(self):
+        with pytest.raises(ConfigError):
+            stream_trace("sporadic", rate=-1.0, duration=10.0)
