@@ -16,6 +16,12 @@ flows):
     contended case, which must stay at parity with the from-scratch
     allocator (the component search is amortized by dropped sorts and
     timer-reschedule elision).
+``fanin_scaling``
+    The fan-in shape at 1k/4k/10k flows on one link, timing only the
+    churn phase so ``per_event_us`` isolates the allocator's marginal
+    cost at each component size.  Runs ``incremental``, the opt-in
+    ``analytic`` mode (the flat-cost row), and ``legacy`` capped at
+    4k flows.
 ``multipath_chunk_storm``
     Chunk-batched :class:`~repro.net.transfer.TransferEngine` transfers
     over two-hop parallel paths in disjoint groups — the paper's 2 MB
@@ -70,6 +76,13 @@ def _result(name: str, allocator: str, net: FlowNetwork,
         "timer_reschedules": net.timer_reschedules,
         "timer_elisions": net.timer_elisions,
         "heap_compactions": env.compactions,
+        # Level-cache effectiveness (zero for legacy/fullscan, which
+        # never consult the cache).
+        "cache_hits": net.cache_hits,
+        "cache_rebuilds": net.cache_rebuilds,
+        "levels_spliced": net.levels_spliced,
+        "levels_recomputed": net.levels_recomputed,
+        "analytic_events": net.analytic_events,
     }
 
 
@@ -137,17 +150,97 @@ def bench_fanin_hotspot(
     env.run()
     wall = time.perf_counter() - start
     if allocator == "incremental":
-        # The completion-time elision predicate must actually fire on
-        # the fully contended case (it was dead — exact float equality
-        # on the raw rate — until it compared against the armed timer).
-        assert net.timer_elisions > 0, (
-            "timer elision never fired under fanin_hotspot "
-            f"({net.timer_reschedules} reschedules)"
+        # The level cache must actually engage on the fully contended
+        # case — fanin is the workload the cache exists for.  (The
+        # former ``timer_elisions > 0`` guard is subsumed: under the
+        # comp-timer regime elisions are incidental, cache traffic is
+        # the invariant.)
+        assert net.cache_hits + net.cache_rebuilds > 0, (
+            "level cache never consulted under fanin_hotspot "
+            f"({net.realloc_count} reallocs)"
         )
     return _result(
         "fanin_hotspot", allocator, net, env, 2 * completed, wall,
         {"flows": flows, "rounds": rounds},
     )
+
+
+def bench_fanin_scaling(
+    allocator: str,
+    flow_counts: Sequence[int] = (1000, 4000, 10000),
+    churn_rounds: int = 250,
+    legacy_max_flows: int = 4000,
+) -> dict:
+    """Per-event cost vs component size on one saturated link.
+
+    For each population N, N long-lived flows pin the hot link and a
+    single churner restarts short flows back-to-back; only the churn
+    phase is timed, so ``per_event_us`` isolates the allocator's
+    marginal cost at that component size.  ``incremental`` keeps exact
+    eager per-flow state — provably Θ(N) per event, since every
+    arrival changes every member's rate — while ``analytic`` (opt-in)
+    integrates one shared service curve at O(log N) per event: the
+    flat-cost row the 1k→10k acceptance target reads.  ``legacy`` is
+    capped at *legacy_max_flows* (its global recompute plus full timer
+    rearm is quadratic enough to dominate the suite's runtime).
+    """
+    rows: list[dict] = []
+    counts = [
+        n for n in flow_counts
+        if not (allocator == "legacy" and n > legacy_max_flows)
+    ]
+    for n in counts:
+        env = Environment()
+        net = FlowNetwork(env, allocator=allocator)
+        hot = Link(link_id="scale.hot", src="many", dst="gpu",
+                   capacity=100 * MB, kind=LinkKind.PCIE)
+        # Pinned population: sized to outlive the whole churn phase.
+        for _ in range(n):
+            net.start_flow([hot], 1e15)
+        churn_done: list[bool] = []
+
+        def churner():
+            for round_no in range(churn_rounds):
+                flow = net.start_flow([hot], (1 + round_no % 7) * MB / 8)
+                yield flow.done
+            churn_done.append(True)
+
+        env.process(churner())
+        events = 2 * churn_rounds  # one start + one finish per restart
+        start = time.perf_counter()
+        while not churn_done:
+            env.step()
+        wall = max(time.perf_counter() - start, 1e-9)
+        rows.append({
+            "flows": n,
+            "churn_events": events,
+            "wall_s": wall,
+            "events_per_sec": events / wall,
+            "per_event_us": wall / events * 1e6,
+            "cache_hits": net.cache_hits,
+            "cache_rebuilds": net.cache_rebuilds,
+            "analytic_events": net.analytic_events,
+        })
+    record = {
+        "name": "fanin_scaling",
+        "allocator": allocator,
+        "config": {"flow_counts": list(counts),
+                   "churn_rounds": churn_rounds},
+        "rows": rows,
+        # Aggregates so the document's flat schema consumers (summary
+        # table, CI assertion) can treat this like any other record.
+        "flow_events": sum(r["churn_events"] for r in rows),
+        "wall_s": sum(r["wall_s"] for r in rows),
+        "events_per_sec": (
+            sum(r["churn_events"] for r in rows)
+            / max(sum(r["wall_s"] for r in rows), 1e-9)
+        ),
+    }
+    if len(rows) > 1:
+        record["per_event_ratio_max_over_min_flows"] = (
+            rows[-1]["per_event_us"] / rows[0]["per_event_us"]
+        )
+    return record
 
 
 def bench_multipath_chunk_storm(
@@ -298,6 +391,11 @@ BENCHMARKS: dict[str, tuple[BenchFn, dict, dict]] = {
         {"flows": 128, "rounds": 16},
         {"flows": 32, "rounds": 4},
     ),
+    "fanin_scaling": (
+        bench_fanin_scaling,
+        {"flow_counts": (1000, 4000, 10000), "churn_rounds": 250},
+        {"flow_counts": (256, 1024), "churn_rounds": 60},
+    ),
     "multipath_chunk_storm": (
         bench_multipath_chunk_storm,
         {"groups": 16, "transfers_per_group": 4, "transfer_mb": 24},
@@ -308,6 +406,12 @@ BENCHMARKS: dict[str, tuple[BenchFn, dict, dict]] = {
         {"transfers": 8, "rounds": 3, "transfer_mb": 1024},
         {"transfers": 4, "rounds": 2, "transfer_mb": 64},
     ),
+}
+
+# Per-benchmark allocator override: the scaling curve needs the opt-in
+# ``analytic`` mode (the flat-cost row) next to the eager ones.
+BENCH_ALLOCATORS: dict[str, tuple[str, ...]] = {
+    "fanin_scaling": ("incremental", "analytic", "legacy"),
 }
 
 
@@ -332,10 +436,12 @@ def run_benchmarks(
     for name in selected:
         fn, full_kwargs, quick_kwargs = BENCHMARKS[name]
         kwargs = quick_kwargs if quick else full_kwargs
-        for allocator in allocators:
+        for allocator in BENCH_ALLOCATORS.get(name, allocators):
             runs.append(fn(allocator, **kwargs))
     speedups: dict[str, float] = {}
     for name in selected:
+        if name == "fanin_scaling":
+            continue  # compared per-row below, not by aggregate
         by_alloc = {
             run["allocator"]: run for run in runs if run["name"] == name
         }
@@ -344,7 +450,7 @@ def run_benchmarks(
                 by_alloc["incremental"]["events_per_sec"]
                 / by_alloc["legacy"]["events_per_sec"]
             )
-    return {
+    document = {
         "schema": SCHEMA_VERSION,
         "generated_by": "repro bench",
         "mode": "quick" if quick else "full",
@@ -352,6 +458,22 @@ def run_benchmarks(
         "benchmarks": runs,
         "speedup_incremental_over_legacy": speedups,
     }
+    scaling: dict[str, dict] = {}
+    for run in runs:
+        if run["name"] != "fanin_scaling":
+            continue
+        scaling[run["allocator"]] = {
+            "per_event_us": {
+                str(row["flows"]): row["per_event_us"]
+                for row in run["rows"]
+            },
+            "per_event_ratio_max_over_min_flows": run.get(
+                "per_event_ratio_max_over_min_flows"
+            ),
+        }
+    if scaling:
+        document["fanin_scaling"] = scaling
+    return document
 
 
 def write_results(document: dict, path: str) -> None:
@@ -367,11 +489,28 @@ def format_summary(document: dict) -> str:
         f"{'wall (s)':>9} {'reallocs':>9} {'mean comp':>10}"
     ]
     for run in document["benchmarks"]:
+        if "rows" in run:  # scaling records get their own lines below
+            continue
         lines.append(
             f"{run['name']:<24} {run['allocator']:<12} "
             f"{run['events_per_sec']:>12.0f} {run['wall_s']:>9.3f} "
             f"{run['realloc_count']:>9} {run['mean_component_size']:>10.1f}"
         )
+    for run in document["benchmarks"]:
+        for row in run.get("rows", ()):
+            lines.append(
+                f"{run['name']:<24} {run['allocator']:<12} "
+                f"{row['events_per_sec']:>12.0f} {row['wall_s']:>9.3f} "
+                f"flows={row['flows']:<7} "
+                f"per-event={row['per_event_us']:.1f}us"
+            )
+        ratio = run.get("per_event_ratio_max_over_min_flows")
+        if ratio is not None:
+            counts = run["config"]["flow_counts"]
+            lines.append(
+                f"scaling[{run['name']}/{run['allocator']}] per-event "
+                f"{counts[-1]}/{counts[0]} flows = {ratio:.2f}x"
+            )
     for run in document["benchmarks"]:
         ratio = run.get("coalesced_speedup_over_per_batch")
         if ratio is not None:

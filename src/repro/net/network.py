@@ -29,7 +29,31 @@ flow whose recomputed rate is exactly unchanged keeps its pending timer
 (reschedule elision), eliminating the one-stale-timer-per-flow heap
 churn of a from-scratch allocator.
 
-Two other allocator modes exist for validation and benchmarking:
+Incremental *within*-component water-fill
+-----------------------------------------
+Component scoping buys nothing when everything is one component (the
+``fanin_hotspot`` regime: thousands of flows into one NIC).  For that
+the ``incremental`` allocator also maintains a *persistent component
+registry* (components are updated in place on arrival/merge and
+single-link departure instead of re-derived by BFS) and, for *clean*
+components — ``maxmin`` policy, no reservations (``min_rate == 0``),
+no ``rate_cap``, no macro-flows, telemetry bus detached — a cached
+*bottleneck-level structure* (:mod:`repro.net.waterfill`): the sorted
+sequence of saturation levels the progressive fill produces.  On a
+single flow arrival or departure a splice scan finds the first
+perturbed pass ``j*``; levels below it are reused verbatim (their
+rates, freeze sets and link residuals are provably bit-identical) and
+only passes ``>= j*`` are recomputed.  Completion timers collapse to
+one armed timer per component (the level structure makes the earliest
+completion a cheap scan), eliminating the per-flow heap churn that
+made ``incremental`` *slower* than ``legacy`` on one big component.
+Whenever a precondition fails — reservations, caps, SLO-gated phase-1
+grants, macro splits, component merges, a telemetry bus attached —
+the allocator degrades gracefully to the classic scoped full refill,
+which is bit-identical to the pre-cache behaviour (and rebuilds the
+cache when the component becomes clean again).
+
+Three other allocator modes exist for validation and benchmarking:
 
 ``fullscan``
     Same semantics, but components are re-derived from scratch on every
@@ -40,10 +64,20 @@ Two other allocator modes exist for validation and benchmarking:
     The original from-scratch allocator: every event advances all
     flows, recomputes all rates globally, and rearms every completion
     timer.  Kept as the perf-benchmark baseline (`repro bench`).
+``analytic``
+    ``incremental`` plus closed-form completion for clean
+    *single-link* components: instead of settling every member's
+    ``remaining`` through each rate epoch (Θ(members) per event for
+    any bit-exact chain), the component integrates one shared service
+    curve and completes flows off a heap — O(log n) per event, flat
+    in component size.  Rates are identical floats; completion
+    *instants* drift from the eager subtraction chains at the ulp
+    level, which is why this mode is opt-in rather than the default.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import os
 from dataclasses import dataclass, field
@@ -51,12 +85,13 @@ from typing import Iterable, Optional, Sequence
 
 from repro.common.errors import SimulationError
 from repro.net.links import Link
+from repro.net.waterfill import AnalyticState, Level, splice_scan
 from repro.sim.core import Environment, Event, ScheduledCall
 from repro.telemetry.events import FlowFinished, FlowStarted, FlowsReallocated
 
 _EPS = 1e-9
 
-ALLOCATORS = ("incremental", "fullscan", "legacy")
+ALLOCATORS = ("incremental", "fullscan", "legacy", "analytic")
 
 
 @dataclass
@@ -84,21 +119,27 @@ class Flow:
         "flow_id",
         "path",
         "size",
-        "remaining",
         "min_rate",
         "rate_cap",
         "slo_deadline",
         "tag",
         "owner",
-        "rate",
         "started_at",
         "arrival_order",
         "done",
         "macro_outcome",
+        "_remaining",
+        "_rate",
         "_last_update",
         "_timer",
         "_timer_at",
+        "_timer_seq",
         "_macro",
+        "_comp",
+        "_order_idx",
+        "_level_idx",
+        "_astate",
+        "_v_done",
     )
 
     _ids = itertools.count()
@@ -123,13 +164,13 @@ class Flow:
         self.flow_id = next(Flow._ids)
         self.path = tuple(path)
         self.size = float(size)
-        self.remaining = float(size)
+        self._remaining = float(size)
         self.min_rate = min_rate
         self.rate_cap = rate_cap
         self.slo_deadline = slo_deadline
         self.tag = tag
         self.owner = owner
-        self.rate = 0.0
+        self._rate = 0.0
         self.started_at = env.now
         # Logical arrival instant used for ordering guarantees
         # (admission-order reservations, SLO tie-breaks).  Equals
@@ -144,7 +185,43 @@ class Flow:
         self._last_update = env.now
         self._timer: Optional[ScheduledCall] = None
         self._timer_at = 0.0
+        # Conceptual arming sequence for the comp-timer fast path: -1
+        # means "not armed"; ties on equal instants resolve by arming
+        # order, mirroring the per-flow timer heap.
+        self._timer_seq = -1
         self._macro: Optional[_MacroState] = None
+        # Persistent-component bookkeeping (incremental/analytic).
+        self._comp: Optional["_Component"] = None
+        self._order_idx = 0
+        # Index of the cached saturation level this flow froze at in
+        # its component's last clean fill; None = not bound.
+        self._level_idx: Optional[int] = None
+        # Analytic-mode virtual-service state (clean 1-link components).
+        self._astate: Optional[AnalyticState] = None
+        self._v_done = 0.0
+
+    @property
+    def rate(self) -> float:
+        st = self._astate
+        if st is not None:
+            return st.rate
+        return self._rate
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        self._rate = value
+
+    @property
+    def remaining(self) -> float:
+        st = self._astate
+        if st is not None:
+            rem = self._v_done - st.service_now()
+            return rem if rem > 0.0 else 0.0
+        return self._remaining
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        self._remaining = value
 
     def __repr__(self) -> str:
         return (
@@ -171,6 +248,55 @@ class _LinkState:
     # order, so iteration is deterministic without sorting.
     flows: dict = field(default_factory=dict)
     bytes_carried: float = 0.0
+    # Owning component (persistent registry; incremental/analytic).
+    comp: Optional["_Component"] = None
+
+
+class _Component:
+    """A persistent connected component of the flow/link graph.
+
+    Maintained in place by the ``incremental``/``analytic`` allocators:
+    arrivals append (merging bridged components into the largest one),
+    single-link departures tombstone, multi-link departures dissolve
+    the component and BFS re-derives the split parts.  All flows on a
+    link always belong to one component, so exactness of the registry
+    follows from exactness of these three updates.
+
+    ``mode`` tracks which timer regime the members are in: ``classic``
+    (per-flow timers, the pre-cache behaviour, used whenever a
+    telemetry bus is attached or the component is unclean) or ``fast``
+    / ``analytic`` (one component timer).  Transitions cancel the old
+    regime's timers and re-arm under the new one.
+    """
+
+    __slots__ = (
+        "order", "live", "links", "n_unclean", "n_macro", "order_dirty",
+        "cache", "mode", "timer", "timer_due", "timer_at", "astate",
+    )
+
+    def __init__(self) -> None:
+        # Arrival-ordered members; departures leave None tombstones
+        # (compacted amortizedly), so iteration order never needs a
+        # per-event sort.
+        self.order: list[Optional[Flow]] = []
+        self.live = 0
+        self.links: dict[str, _LinkState] = {}
+        # Members with a reservation or a rate cap (they freeze the
+        # fill in ways the level cache cannot splice over).
+        self.n_unclean = 0
+        self.n_macro = 0
+        # Set when arrival order may be violated (component merge,
+        # macro conversion rewriting arrival_order): the next members()
+        # call re-sorts.
+        self.order_dirty = False
+        # Cached bottleneck levels from the last clean fill.
+        self.cache: Optional[list[Level]] = None
+        self.mode = "fast"
+        # Single component completion timer (fast/analytic regimes).
+        self.timer: Optional[ScheduledCall] = None
+        self.timer_due: Optional[Flow] = None
+        self.timer_at = 0.0
+        self.astate: Optional[AnalyticState] = None
 
 
 @dataclass(slots=True)
@@ -293,12 +419,47 @@ class FlowNetwork:
         # flow_id -> Flow; insertion-ordered (ids are monotonic), so
         # iteration is always in flow_id order without sorting.
         self._flows: dict[int, Flow] = {}
-        # Instrumentation (cheap, always on; exported by `repro bench`).
+        # Persistent component registry + level cache apply to the
+        # incremental family only.
+        self._use_components = allocator in ("incremental", "analytic")
+        # Live macro-flow count: lets start_flow skip the O(path)
+        # macro-split sweep entirely in macro-free workloads.
+        self._macro_live = 0
+        # Conceptual timer-arming sequence for the comp-timer regime.
+        self._arm_counter = 0
+        # Instrumentation (cheap, always on; exported by `repro bench`
+        # and :meth:`export_metrics`).
         self.realloc_count = 0
         self.realloc_flows = 0  # cumulative component sizes
         self.flows_started = 0
         self.timer_reschedules = 0
         self.timer_elisions = 0
+        # Level-cache effectiveness (clean-component fast path).
+        self.cache_hits = 0
+        self.cache_rebuilds = 0
+        self.levels_spliced = 0
+        self.levels_recomputed = 0
+        self.analytic_events = 0
+
+    def export_metrics(self, registry) -> None:
+        """Publish allocator counters into a telemetry MetricsRegistry.
+
+        Counters are monotonic; repeated exports increment by the
+        delta, so the registry tracks the live values.
+        """
+        for name, value in (
+            ("net.realloc_count", self.realloc_count),
+            ("net.timer_reschedules", self.timer_reschedules),
+            ("net.timer_elisions", self.timer_elisions),
+            ("net.waterfill_cache_hits", self.cache_hits),
+            ("net.waterfill_cache_rebuilds", self.cache_rebuilds),
+            ("net.waterfill_levels_spliced", self.levels_spliced),
+            ("net.waterfill_levels_recomputed", self.levels_recomputed),
+            ("net.waterfill_analytic_events", self.analytic_events),
+        ):
+            counter = registry.counter(name)
+            if value > counter.value:
+                counter.inc(value - counter.value)
 
     # -- link registry ----------------------------------------------------
     def add_link(self, link: Link) -> None:
@@ -387,7 +548,7 @@ class FlowNetwork:
                 self.add_link(link)
         if self.allocator == "legacy":
             self._advance_all()
-        else:
+        elif self._macro_live:
             # A new flow disturbing a macro-flow's component forces the
             # macro back to per-batch granularity *before* this flow is
             # announced, so preemption happens at the batch boundary the
@@ -397,6 +558,7 @@ class FlowNetwork:
         self._flows[flow.flow_id] = flow
         for link in flow.path:
             self._links[link.link_id].flows[flow.flow_id] = flow
+        comp = self._comp_attach(flow) if self._use_components else None
         # Announce the flow before the reallocation below publishes its
         # first rate epoch, so stream consumers (the profiler's span
         # trees) see a complete bandwidth history from birth.
@@ -415,6 +577,8 @@ class FlowNetwork:
             ))
         if self.allocator == "legacy":
             self._reallocate_legacy("start", flow.flow_id)
+        elif comp is not None:
+            self._comp_realloc(comp, "start", flow, arrival=True)
         else:
             # A new flow can merge previously disjoint components; the
             # component search from the attached flow covers the merge.
@@ -439,6 +603,7 @@ class FlowNetwork:
                 macro.pinned_refund(macro.pinned_hold)
                 macro.pinned_hold = 0.0
             flow._macro = None
+            self._macro_resolved(flow)
             self._detach(flow)
             flow.done.fail(SimulationError(f"flow {flow.flow_id} cancelled"))
             return
@@ -449,11 +614,27 @@ class FlowNetwork:
             self._reallocate_legacy("cancel", flow.flow_id)
             return
         self._advance_flow(flow, self.env.now)
+        comp = flow._comp
+        if comp is not None and len(flow.path) == 1:
+            # A one-link flow cannot split its component: the other
+            # flows on that link stay connected through it.
+            st = flow._astate
+            if st is not None:
+                flow._remaining = max(0.0, flow._v_done - st.v)
+                flow._astate = None
+            self._detach(flow)
+            flow.done.fail(SimulationError(f"flow {flow.flow_id} cancelled"))
+            if comp.live:
+                self._comp_realloc(comp, "cancel", flow, arrival=False)
+            return
         # Removing a flow can split its component; every surviving
         # part contains a link-sharing neighbour of the removed flow,
         # so seeding the scoped pass with the neighbours covers all of
         # them without a separate whole-component search.
         neighbors = self._neighbors(flow)
+        if comp is not None:
+            flow._timer_seq = -1  # cancelled; no timer to carry over
+            self._comp_dissolve(comp)
         self._detach(flow)
         flow.done.fail(SimulationError(f"flow {flow.flow_id} cancelled"))
         self._reallocate_scoped(neighbors, "cancel", flow.flow_id)
@@ -562,6 +743,10 @@ class FlowNetwork:
         self._flows[flow.flow_id] = flow
         for link in flow.path:
             self._links[link.link_id].flows[flow.flow_id] = flow
+        self._macro_live += 1
+        if self._use_components:
+            comp = self._comp_attach(flow)
+            comp.n_macro += 1
         end = entries[-1].f
         flow._timer = self.env.schedule_at(
             end, lambda f_=flow: self._on_macro_timer(f_)
@@ -616,6 +801,12 @@ class FlowNetwork:
                     macro.pinned_refund(surplus)
                     macro.pinned_hold = target
             flow._macro = None
+            self._macro_resolved(flow)
+            comp = flow._comp
+            if comp is not None:
+                # The conversion rewrites arrival_order, so the
+                # component's arrival-sorted member list must re-sort.
+                comp.order_dirty = True
             flow.macro_outcome = MacroOutcome(
                 kind="converted", rem_before=entry.rem_before, block=entry.b
             )
@@ -660,8 +851,17 @@ class FlowNetwork:
                 resume_at=entry.s,
             )
             flow._macro = None
+            self._macro_resolved(flow)
             self._detach(flow)
             flow.done.succeed(None)
+
+    def _macro_resolved(self, flow: Flow) -> None:
+        """Bookkeeping when a flow stops being a macro-flow."""
+        self._macro_live -= 1
+        comp = flow._comp
+        if comp is not None:
+            comp.n_macro -= 1
+            comp.cache = None
 
     def split_macro_for_pinned(self, flow: Flow) -> None:
         """Pinned-pool contention: cut the macro at its batch boundary.
@@ -709,6 +909,7 @@ class FlowNetwork:
                 resume_at=entry.s,
             )
             flow._macro = None
+            self._macro_resolved(flow)
             self._detach(flow)
             flow.done.succeed(None)
 
@@ -731,6 +932,7 @@ class FlowNetwork:
             flow.macro_outcome = MacroOutcome(kind="completed")
         self._publish_virtual_batches(flow, macro, upto)
         flow._macro = None
+        self._macro_resolved(flow)
         flow.remaining = 0.0
         self._detach(flow)
         flow.done.succeed(self._stats(flow))
@@ -803,10 +1005,17 @@ class FlowNetwork:
         if flow._macro is not None:
             self._advance_macro(flow, now)
             return
+        st = flow._astate
+        if st is not None:
+            # Analytic members progress through the shared service
+            # curve; per-flow byte draining would double-count.
+            st.advance(now)
+            flow._last_update = now
+            return
         elapsed = now - flow._last_update
-        if elapsed > 0 and flow.rate > 0:
-            moved = min(flow.remaining, flow.rate * elapsed)
-            flow.remaining -= moved
+        if elapsed > 0 and flow._rate > 0:
+            moved = min(flow._remaining, flow._rate * elapsed)
+            flow._remaining -= moved
             for link in flow.path:
                 self._links[link.link_id].bytes_carried += moved
         flow._last_update = now
@@ -950,10 +1159,20 @@ class FlowNetwork:
         for flow in flows:
             if flow.flow_id in seen:
                 continue
+            if self._use_components:
+                comp = flow._comp
+                if comp is not None:
+                    # The classic path settles per-flow state eagerly;
+                    # leave the fast regime before recomputing.
+                    self._enter_classic(comp)
             component, links = self._component_with(flow)
             seen.update(f.flow_id for f in component)
             self._advance_component(component)
             self._recompute_component(component, links, trigger, changed_id)
+            if self._use_components and flow._comp is None:
+                # Post-split rebuild: the BFS just re-derived this
+                # part's exact membership, so register it.
+                self._comp_rebuild(component, links)
 
     def _recompute_component(
         self,
@@ -1033,6 +1252,654 @@ class FlowNetwork:
                 rates=tuple(f.rate for f in flows),
             ))
 
+    # -- persistent component registry (incremental/analytic) -------------
+    def _comp_attach(self, flow: Flow) -> "_Component":
+        """Register an attached *flow*, merging bridged components.
+
+        The flow is already in the link flow dicts.  Components the
+        flow's path bridges are merged into the largest one (fewest
+        members to re-index); any merge invalidates the level cache.
+        """
+        comps: list[_Component] = []
+        for link in flow.path:
+            st = self._links[link.link_id]
+            c = st.comp
+            if c is not None and c not in comps:
+                comps.append(c)
+        if not comps:
+            comp = _Component()
+        else:
+            comp = comps[0]
+            for c in comps[1:]:
+                if c.live > comp.live:
+                    comp = c
+            for c in comps:
+                if c is not comp:
+                    self._comp_absorb(comp, c)
+            if len(comps) > 1:
+                comp.cache = None
+        flow._comp = comp
+        flow._order_idx = len(comp.order)
+        comp.order.append(flow)
+        comp.live += 1
+        if flow.min_rate > 0.0 or flow.rate_cap != float("inf"):
+            comp.n_unclean += 1
+        for link in flow.path:
+            st = self._links[link.link_id]
+            st.comp = comp
+            comp.links[link.link_id] = st
+        return comp
+
+    def _comp_absorb(self, target: "_Component", source: "_Component") -> None:
+        """Merge *source* into *target* (arrival bridged them)."""
+        if target.mode == "analytic":
+            self._materialize_analytic(target)
+        if source.mode == "analytic":
+            self._materialize_analytic(source)
+        if source.timer is not None:
+            source.timer.cancel()
+            source.timer = None
+            source.timer_due = None
+        for f in source.order:
+            if f is None:
+                continue
+            f._comp = target
+            f._order_idx = len(target.order)
+            f._level_idx = None
+            target.order.append(f)
+        target.live += source.live
+        target.n_unclean += source.n_unclean
+        target.n_macro += source.n_macro
+        for lid, st in source.links.items():
+            st.comp = target
+            target.links[lid] = st
+        source.order.clear()
+        source.links.clear()
+        source.live = 0
+        # Appended members break arrival order; re-sort on next use.
+        target.order_dirty = True
+        target.cache = None
+        if source.mode == "classic":
+            # Absorbed members still carry per-flow timers; route the
+            # merged component through the classic machinery (or let
+            # _enter_fast cancel them) rather than leaving them armed.
+            target.mode = "classic"
+
+    def _comp_members(self, comp: "_Component") -> list[Flow]:
+        """Live members in arrival order; compacts/re-sorts lazily."""
+        order = comp.order
+        if comp.order_dirty:
+            members = [f for f in order if f is not None]
+            members.sort(key=_flow_order)
+            comp.order = members
+            for i, f in enumerate(members):
+                f._order_idx = i
+            comp.order_dirty = False
+            return list(members)
+        if comp.live != len(order):
+            members = [f for f in order if f is not None]
+            comp.order = members
+            for i, f in enumerate(members):
+                f._order_idx = i
+            return list(members)
+        return list(order)
+
+    def _comp_rebuild(
+        self, component: list[Flow], links: dict[str, _LinkState]
+    ) -> None:
+        """Register a freshly BFS-derived component (post-split)."""
+        comp = _Component()
+        comp.mode = "classic"  # _recompute_component just armed timers
+        comp.order = list(component)
+        comp.live = len(component)
+        for i, f in enumerate(component):
+            f._comp = comp
+            f._order_idx = i
+            f._level_idx = None
+            if f.min_rate > 0.0 or f.rate_cap != float("inf"):
+                comp.n_unclean += 1
+            if f._macro is not None:
+                comp.n_macro += 1
+        comp.links = dict(links)
+        for st in links.values():
+            st.comp = comp
+
+    def _comp_dissolve(self, comp: "_Component") -> None:
+        """Drop the registry entry; a scoped BFS will re-derive parts."""
+        if comp.mode == "analytic":
+            self._materialize_analytic(comp)
+        if comp.timer is not None:
+            comp.timer.cancel()
+            comp.timer = None
+        comp.timer_due = None
+        # The parts re-derived by the BFS run classic; hand each member
+        # its conceptual completion instant as a real timer so elision
+        # keeps it rather than recomputing a possibly-1-ulp-off one.
+        self._materialize_timers(comp)
+        for st in comp.links.values():
+            if st.comp is comp:
+                st.comp = None
+        comp.links.clear()
+        for f in comp.order:
+            if f is not None:
+                f._comp = None
+                f._level_idx = None
+        comp.order.clear()
+        comp.live = 0
+        comp.cache = None
+
+    # -- timer-regime transitions ------------------------------------------
+    def _materialize_timers(self, comp: "_Component") -> None:
+        """Realize conceptual fast-regime instants as per-flow timers.
+
+        The armed instant is carried over bit-for-bit: re-deriving it
+        as ``now + remaining / rate`` can land one ulp away once the
+        lazy advances split the byte drain into a different float
+        subtraction chain, and the classic elision predicates only
+        keep a timer whose recorded instant matches exactly.
+        """
+        for f in comp.order:
+            if f is None or f._timer_seq == -1:
+                continue
+            f._timer_seq = -1
+            if f._timer is None and f._macro is None:
+                f._timer = self.env.schedule_at(
+                    f._timer_at, lambda g=f: self._on_timer(g)
+                )
+
+    def _enter_classic(self, comp: "_Component") -> None:
+        """Leave the comp-timer regime; per-flow timers take over.
+
+        Every armed conceptual instant becomes a real timer at the
+        same instant, so the ensuing _recompute_component elides it
+        exactly as a never-fast run would.
+        """
+        if comp.mode == "classic":
+            return
+        if comp.mode == "analytic":
+            self._materialize_analytic(comp)
+        if comp.timer is not None:
+            comp.timer.cancel()
+            comp.timer = None
+        comp.timer_due = None
+        self._materialize_timers(comp)
+        comp.mode = "classic"
+        comp.cache = None
+
+    def _enter_fast(self, comp: "_Component") -> None:
+        """Collapse per-flow timers into the single component timer.
+
+        An armed per-flow timer becomes a conceptual (instant, seq)
+        pair — the instant is kept bit-for-bit, the seq is re-based in
+        member order — and the handle is cancelled.
+        """
+        if comp.mode == "analytic":
+            self._materialize_analytic(comp)
+            return
+        if comp.mode != "classic":
+            return
+        for f in comp.order:
+            if f is None:
+                continue
+            if f._timer is not None:
+                f._timer.cancel()
+                f._timer = None
+                f._timer_seq = self._arm_seq()
+            else:
+                f._timer_seq = -1
+        comp.mode = "fast"
+
+    def _materialize_analytic(self, comp: "_Component") -> None:
+        """Settle every member's eager slots out of the service curve."""
+        st = comp.astate
+        if st is None:
+            if comp.mode == "analytic":
+                comp.mode = "fast"
+            return
+        now = self.env.now
+        st.advance(now)
+        v = st.v
+        for f in comp.order:
+            if f is None or f._astate is not st:
+                continue
+            rem = f._v_done - v
+            f._remaining = rem if rem > 0.0 else 0.0
+            f._rate = st.rate
+            f._last_update = now
+            f._astate = None
+            f._timer_seq = -1
+        if comp.timer is not None:
+            comp.timer.cancel()
+            comp.timer = None
+        comp.timer_due = None
+        comp.astate = None
+        comp.mode = "fast"
+        comp.cache = None
+
+    # -- component-scoped dispatch -----------------------------------------
+    def _comp_realloc(
+        self, comp: "_Component", trigger: str, changed: Flow, arrival: bool
+    ) -> None:
+        """Route one arrival/departure through the cheapest exact path.
+
+        Clean components (maxmin, no reservations/caps/macros, bus
+        detached) take the cached-waterfill fast path — or closed-form
+        analytic completion for single-link components under the
+        ``analytic`` allocator.  Everything else degrades to the
+        classic scoped pass, which is verbatim PR-2 behaviour.
+        """
+        clean = (
+            self.policy == "maxmin"
+            and comp.n_unclean == 0
+            and comp.n_macro == 0
+            and self.env.telemetry is None
+        )
+        if clean:
+            if self.allocator == "analytic" and len(comp.links) == 1:
+                self._analytic_realloc(comp, changed, arrival)
+            else:
+                self._fast_realloc(comp, changed, arrival)
+            return
+        if arrival:
+            self._reallocate_scoped([changed], trigger, changed.flow_id)
+        else:
+            self._reallocate_scoped(
+                self._neighbors(changed), trigger, changed.flow_id
+            )
+
+    def _arm_seq(self) -> int:
+        self._arm_counter += 1
+        return self._arm_counter
+
+    # -- fast regime: cached bottleneck levels, one component timer --------
+    def _fast_realloc(
+        self, comp: "_Component", changed: Flow, arrival: bool
+    ) -> None:
+        now = self.env.now
+        if comp.mode != "fast":
+            self._enter_fast(comp)
+        members = self._comp_members(comp)
+        self.realloc_count += 1
+        self.realloc_flows += len(members)
+        for f in members:
+            self._advance_flow(f, now)
+        levels = None
+        cache = comp.cache
+        if cache is not None:
+            scan = splice_scan(changed, cache, self._links, arrival)
+            if scan.j_star is not None:
+                levels = self._splice_fill(cache, scan, members, now)
+                self.cache_hits += 1
+        if levels is None:
+            self.cache_rebuilds += 1
+            for f in members:
+                f._level_idx = None
+            residual = {
+                lid: st.link.capacity for lid, st in comp.links.items()
+            }
+            levels = self._clean_fill(members, residual, 0, 0.0, now)
+        comp.cache = levels
+        self._arm_comp_timer(comp, members)
+
+    def _splice_fill(
+        self, cache: list, scan, members: list[Flow], now: float
+    ) -> list:
+        """Reuse levels below ``j*`` verbatim; recompute the rest."""
+        j = scan.j_star
+        self.levels_spliced += j
+        # Patch the reused levels' entry snapshots with the changed
+        # flow's new-population chains so future splices on its links
+        # resume from exact state.
+        for i, patch in enumerate(scan.history):
+            entry = cache[i].entry_residual
+            for lid, val in patch.items():
+                entry[lid] = val
+        # Resume residual: cached snapshot at pass j (absent when j is
+        # past the last cached level), overlaid with the replayed
+        # chains for the changed flow's links.
+        if j < len(cache):
+            residual = dict(cache[j].entry_residual)
+        else:
+            residual = {}
+        residual.update(scan.flink_residuals)
+        cum0 = cache[j - 1].cum if j > 0 else 0.0
+        unfrozen: list[Flow] = []
+        for f in members:
+            lvl = f._level_idx
+            if lvl is None or lvl >= j:
+                f._level_idx = None
+                unfrozen.append(f)
+            else:
+                # Spliced: rate provably unchanged.  Apply the classic
+                # elision decision anyway (a drained flow is re-armed
+                # for immediate completion exactly like classic would).
+                self._bind_fast(f, f._rate, now)
+        tail = self._clean_fill(unfrozen, residual, j, cum0, now)
+        return cache[:j] + tail
+
+    def _clean_fill(
+        self,
+        flows: list[Flow],
+        residual: dict[str, float],
+        start_index: int,
+        cum0: float,
+        now: float,
+    ) -> list:
+        """Progressive max-min fill over clean flows, recording levels.
+
+        Mirrors :meth:`_fill_maxmin` restricted to the clean case
+        (no reservations, no caps): identical delta arithmetic,
+        identical freeze predicate, identical accumulation order — the
+        shared ``cum`` prefix equals every per-flow accumulator because
+        all unfrozen flows receive the same adds in the same order.
+        """
+        levels: list = []
+        unfrozen = list(flows)  # compacted in place below
+        cum = cum0
+        idx = start_index
+        # A single-link component (the fan-in shape) needs no crossing
+        # dict: every member crosses the one link, so the count is
+        # len(unfrozen) and the subtraction chain runs on a local —
+        # the same floats in the same order, minus the dict traffic.
+        single = len(residual) == 1
+        for _ in range(len(flows) + 1):
+            if not unfrozen:
+                break
+            if single:
+                ((lid, res),) = residual.items()
+                count = len(unfrozen)
+                delta = res / count
+                entry = {lid: res}
+                if delta > _EPS:
+                    cum = cum + delta
+                    for _ in range(count):
+                        res -= delta
+                    residual[lid] = res
+                if res <= _EPS:
+                    frozen = unfrozen
+                    unfrozen = []
+                else:
+                    frozen = []
+            else:
+                crossing: dict[str, int] = {}
+                for f in unfrozen:
+                    for link in f.path:
+                        lid = link.link_id
+                        crossing[lid] = crossing.get(lid, 0) + 1
+                delta = min(
+                    residual[lid] / count
+                    for lid, count in crossing.items()
+                )
+                entry = dict(residual)
+                if delta > _EPS:
+                    cum = cum + delta
+                    for f in unfrozen:
+                        for link in f.path:
+                            residual[link.link_id] -= delta
+                write = 0
+                frozen = []
+                for f in unfrozen:
+                    for link in f.path:
+                        if residual[link.link_id] <= _EPS:
+                            frozen.append(f)
+                            break
+                    else:
+                        unfrozen[write] = f
+                        write += 1
+                del unfrozen[write:]
+            if not frozen:
+                # Terminal: loop exits with flows still unfrozen (no
+                # link crossed the epsilon).  Never spliced over.
+                levels.append(Level(idx, delta, cum, entry, terminal=True))
+                for f in unfrozen:
+                    f._level_idx = idx
+                    self._bind_fast(f, cum, now)
+                self.levels_recomputed += 1
+                return levels
+            levels.append(Level(idx, delta, cum, entry))
+            self.levels_recomputed += 1
+            for f in frozen:
+                f._level_idx = idx
+                self._bind_fast(f, cum, now)
+            idx += 1
+        return levels
+
+    def _bind_fast(self, flow: Flow, new_rate: float, now: float) -> None:
+        """Apply a recomputed rate under the comp-timer regime.
+
+        Mirrors _recompute_component's two elision predicates and
+        _schedule_completion's arithmetic exactly, with "armed"
+        meaning ``_timer_seq != -1`` instead of a live handle, so the
+        conceptual (instant, seq) ordering matches what the per-flow
+        heap would contain bit-for-bit.
+        """
+        armed = flow._timer_seq != -1
+        rem = flow._remaining
+        if (
+            new_rate == flow._rate
+            and rem > _EPS
+            and (armed or new_rate <= _EPS)
+        ):
+            self.timer_elisions += 1
+            return
+        if (
+            armed
+            and rem > _EPS
+            and new_rate > _EPS
+            and now + rem / new_rate == flow._timer_at
+        ):
+            flow._rate = new_rate
+            self.timer_elisions += 1
+            return
+        flow._rate = new_rate
+        self.timer_reschedules += 1
+        if rem <= _EPS:
+            flow._timer_at = now
+            flow._timer_seq = self._arm_seq()
+            return
+        if new_rate <= _EPS:
+            flow._timer_seq = -1  # starved
+            return
+        flow._timer_at = now + rem / new_rate
+        flow._timer_seq = self._arm_seq()
+
+    def _arm_comp_timer(
+        self, comp: "_Component", members: list[Flow]
+    ) -> None:
+        """(Re-)arm the single component timer at the earliest armed
+        conceptual instant; ties resolve by arming seq like the heap."""
+        best: Optional[Flow] = None
+        for f in members:
+            if f._timer_seq == -1:
+                continue
+            if best is None or (f._timer_at, f._timer_seq) < (
+                best._timer_at,
+                best._timer_seq,
+            ):
+                best = f
+        if best is None:
+            if comp.timer is not None:
+                comp.timer.cancel()
+                comp.timer = None
+            comp.timer_due = None
+            return
+        if (
+            comp.timer is not None
+            and comp.timer_due is best
+            and comp.timer_at == best._timer_at
+        ):
+            return
+        if comp.timer is not None:
+            comp.timer.cancel()
+        comp.timer = self.env.schedule_at(
+            best._timer_at, lambda c=comp: self._on_comp_timer(c)
+        )
+        comp.timer_due = best
+        comp.timer_at = best._timer_at
+
+    def _on_comp_timer(self, comp: "_Component") -> None:
+        comp.timer = None
+        flow = comp.timer_due
+        comp.timer_due = None
+        if (
+            comp.mode != "fast"
+            or flow is None
+            or flow._comp is not comp
+            or flow._timer_seq == -1
+            or flow._timer_at != comp.timer_at
+        ):
+            return  # stale arming; a newer state superseded it
+        now = self.env.now
+        self._advance_flow(flow, now)
+        # Same float-drift guard as _on_timer.
+        threshold = max(1e-6, flow.size * 1e-12)
+        if flow._remaining > threshold:
+            rate = flow._rate
+            eta = flow._remaining / rate if rate > _EPS else float("inf")
+            if eta != float("inf") and now + eta > now:
+                flow._timer_at = now + eta
+                flow._timer_seq = self._arm_seq()
+                self._arm_comp_timer(comp, self._comp_members(comp))
+                return
+            if eta == float("inf"):
+                flow._timer_seq = -1  # starved
+                self._arm_comp_timer(comp, self._comp_members(comp))
+                return
+        if len(flow.path) == 1:
+            flow._remaining = 0.0
+            self._detach(flow)
+            flow.done.succeed(self._stats(flow))
+            if comp.live:
+                self._comp_realloc(comp, "finish", flow, arrival=False)
+        else:
+            neighbors = self._neighbors(flow)
+            flow._timer_seq = -1  # finishing here; no timer to carry over
+            self._comp_dissolve(comp)
+            flow._remaining = 0.0
+            self._detach(flow)
+            flow.done.succeed(self._stats(flow))
+            self._reallocate_scoped(neighbors, "finish", flow.flow_id)
+        bus = self.env.telemetry
+        if bus is not None:
+            # Bus attached mid-run: emit the finish even though the
+            # fast regime published no rate epochs for this flow.
+            bus.publish(FlowFinished(
+                t=self.env.now,
+                flow_id=flow.flow_id,
+                tag=flow.tag,
+                size=flow.size,
+                links=tuple(link.link_id for link in flow.path),
+                src=flow.path[0].src,
+                dst=flow.path[-1].dst,
+                started_at=flow.started_at,
+                owner=flow.owner,
+            ))
+
+    # -- analytic regime: shared service curve, heap completions ----------
+    def _analytic_realloc(
+        self, comp: "_Component", changed: Flow, arrival: bool
+    ) -> None:
+        now = self.env.now
+        self.realloc_count += 1
+        self.realloc_flows += comp.live
+        self.analytic_events += 1
+        st = comp.astate
+        if comp.mode != "analytic" or st is None:
+            self._enter_analytic(comp)
+            self._arm_analytic_timer(comp, comp.astate)
+            return
+        st.advance(now)
+        if arrival:
+            st.join(changed, changed._remaining)
+        else:
+            # The departed member was already settled and detached;
+            # its heap entry lazy-deletes.
+            st.count -= 1
+        st.recompute_rate()
+        self._arm_analytic_timer(comp, st)
+
+    def _enter_analytic(self, comp: "_Component") -> None:
+        """Move a clean single-link component onto the service curve."""
+        now = self.env.now
+        if comp.mode == "classic":
+            self._enter_fast(comp)
+        members = self._comp_members(comp)
+        for f in members:
+            self._advance_flow(f, now)
+        if comp.timer is not None:
+            comp.timer.cancel()
+            comp.timer = None
+        comp.timer_due = None
+        (link_state,) = comp.links.values()
+        st = AnalyticState(self.env, link_state)
+        st.last_t = now
+        for f in members:
+            f._timer_seq = -1
+            st.join(f, f._remaining)
+        st.recompute_rate()
+        comp.astate = st
+        comp.mode = "analytic"
+        comp.cache = None
+
+    def _arm_analytic_timer(self, comp: "_Component", st) -> None:
+        entry = st.front() if st is not None else None
+        if entry is None or st.rate <= 0.0:
+            if comp.timer is not None:
+                comp.timer.cancel()
+                comp.timer = None
+            comp.timer_due = None
+            return
+        t_done = st.last_t + (entry[0] - st.v) / st.rate
+        now = self.env.now
+        if t_done < now:
+            t_done = now  # service-curve division rounded below now
+        flow = entry[3]
+        if (
+            comp.timer is not None
+            and comp.timer_due is flow
+            and comp.timer_at == t_done
+        ):
+            return
+        if comp.timer is not None:
+            comp.timer.cancel()
+        comp.timer = self.env.schedule_at(
+            t_done, lambda c=comp: self._on_analytic_timer(c)
+        )
+        comp.timer_due = flow
+        comp.timer_at = t_done
+
+    def _on_analytic_timer(self, comp: "_Component") -> None:
+        comp.timer = None
+        due = comp.timer_due
+        comp.timer_due = None
+        st = comp.astate
+        if comp.mode != "analytic" or st is None:
+            return
+        now = self.env.now
+        st.advance(now)
+        entry = st.front()
+        if entry is None:
+            return
+        flow = entry[3]
+        if due is not flow:
+            self._arm_analytic_timer(comp, st)
+            return
+        # The armed instant is authoritative (the service curve may
+        # land an ulp short of the heap target), matching the classic
+        # drift guard's treatment of microbyte residuals.
+        heapq.heappop(st.heap)
+        st.count -= 1
+        flow._astate = None
+        flow._remaining = 0.0
+        self._detach(flow)
+        flow.done.succeed(self._stats(flow))
+        if comp.live:
+            self.realloc_count += 1
+            self.realloc_flows += comp.live
+            self.analytic_events += 1
+            st.recompute_rate()
+            self._arm_analytic_timer(comp, st)
+
     # -- internals -----------------------------------------------------------
     def _detach(self, flow: Flow) -> None:
         self._flows.pop(flow.flow_id, None)
@@ -1041,7 +1908,49 @@ class FlowNetwork:
         if flow._timer is not None:
             flow._timer.cancel()
             flow._timer = None
-        flow.rate = 0.0
+        flow._rate = 0.0
+        flow._timer_seq = -1
+        flow._astate = None
+        comp = flow._comp
+        if comp is None:
+            return
+        flow._comp = None
+        # _level_idx is deliberately kept: the ensuing departure splice
+        # scan reads the departed flow's freeze level, and a detached
+        # flow is never re-attached.
+        # Tombstone in the ordered member list; compact lazily.
+        idx = flow._order_idx
+        if 0 <= idx < len(comp.order) and comp.order[idx] is flow:
+            comp.order[idx] = None
+        else:  # order_dirty re-sorts invalidated the index
+            for i, f in enumerate(comp.order):
+                if f is flow:
+                    comp.order[i] = None
+                    break
+        comp.live -= 1
+        if flow.min_rate > 0.0 or flow.rate_cap != float("inf"):
+            comp.n_unclean -= 1
+        # The level cache survives the detach: the ensuing departure
+        # realloc runs the splice scan against it (and every detach is
+        # followed by a realloc or a dissolve).
+        if comp.live <= 0:
+            if comp.timer is not None:
+                comp.timer.cancel()
+                comp.timer = None
+            for st in comp.links.values():
+                if st.comp is comp:
+                    st.comp = None
+            comp.links.clear()
+            comp.order.clear()
+            comp.astate = None
+            return
+        for link in flow.path:
+            st = self._links.get(link.link_id)
+            if st is not None and st.comp is comp and not st.flows:
+                st.comp = None
+                comp.links.pop(link.link_id, None)
+        if len(comp.order) > 64 and len(comp.order) > 2 * comp.live:
+            self._comp_members(comp)
 
     def _schedule_completion(self, flow: Flow) -> None:
         if flow._macro is not None:
@@ -1056,7 +1965,10 @@ class FlowNetwork:
             flow._timer_at = self.env.now
             return
         if flow.rate <= _EPS:
-            return  # starved; will be rescheduled on the next change
+            # Starved; will be rescheduled on the next change.  The
+            # fast regime relies on "disarmed => seq == -1".
+            flow._timer_seq = -1
+            return
         eta = flow.remaining / flow.rate
         flow._timer = self.env.schedule(eta, lambda f=flow: self._on_timer(f))
         flow._timer_at = self.env.now + eta
@@ -1093,6 +2005,14 @@ class FlowNetwork:
             self._reallocate_legacy("finish", flow.flow_id)
         else:
             neighbors = self._neighbors(flow)
+            if (
+                self._use_components
+                and flow._comp is not None
+                and len(flow.path) > 1
+            ):
+                # A multi-link departure can split its component; the
+                # scoped pass re-derives the exact parts by BFS.
+                self._comp_dissolve(flow._comp)
             flow.remaining = 0.0
             self._detach(flow)
             flow.done.succeed(self._stats(flow))
@@ -1191,11 +2111,23 @@ class FlowNetwork:
             if flow.slo_deadline is not None and flow.slo_deadline > now
         ]
         pending.sort(key=lambda f: (f.slo_deadline, f.arrival_order, f.flow_id))
+        # Saturated-link short-circuit: a flow whose path crosses a
+        # zero-residual link can only be granted <= _EPS (its headroom
+        # min is bounded by that link), which the grant check below
+        # would discard anyway — skip the O(path) headroom scan.  The
+        # set is maintained as grants consume residuals.
+        saturated = (
+            {lid for lid, res in residual.items() if res <= _EPS}
+            if pending
+            else set()
+        )
         for flow in pending:
             slack = (flow.slo_deadline - now) * self._SLO_SLACK_TARGET
             target_rate = flow.remaining / max(slack, _EPS)
             want = min(target_rate, flow.rate_cap) - rates[flow]
             if want <= _EPS:
+                continue
+            if any(link.link_id in saturated for link in flow.path):
                 continue
             headroom = min(residual[link.link_id] for link in flow.path)
             grant = min(want, headroom)
@@ -1203,7 +2135,10 @@ class FlowNetwork:
                 continue
             rates[flow] += grant
             for link in flow.path:
-                residual[link.link_id] -= grant
+                lid = link.link_id
+                residual[lid] -= grant
+                if residual[lid] <= _EPS:
+                    saturated.add(lid)
         # Work conservation: leftovers shared max-min among everyone.
         self._fill_maxmin(flows, rates, residual)
 
@@ -1213,38 +2148,63 @@ class FlowNetwork:
         rates: dict[Flow, float],
         residual: dict[str, float],
     ) -> None:
-        """Progressive-filling max-min fairness over the residual."""
+        """Progressive-filling max-min fairness over the residual.
+
+        The crossing counts are maintained decrementally (a freezing
+        flow decrements its links) instead of rebuilt every pass, the
+        cap-minimisation loop is skipped entirely when no flow carries
+        a finite ``rate_cap``, and the unfrozen list is compacted in
+        place — all bit-exact (``min`` over the same multiset, same
+        add/subtract order), turning the per-pass cost from
+        O(flows × path) into O(survivors + frozen × path).
+        """
         unfrozen = [
             flow for flow in flows if rates[flow] < flow.rate_cap - _EPS
         ]
+        any_cap = any(f.rate_cap != float("inf") for f in unfrozen)
+        crossing: dict[str, int] = {}
+        for flow in unfrozen:
+            for link in flow.path:
+                lid = link.link_id
+                crossing[lid] = crossing.get(lid, 0) + 1
         # Iteration bound: each pass freezes at least one flow.
         for _ in range(len(flows) + 1):
             if not unfrozen:
                 break
-            crossing: dict[str, int] = {}
-            for flow in unfrozen:
-                for link in flow.path:
-                    crossing[link.link_id] = crossing.get(link.link_id, 0) + 1
             delta = min(
                 residual[link_id] / count for link_id, count in crossing.items()
             )
-            delta = min(
-                [delta] + [flow.rate_cap - rates[flow] for flow in unfrozen]
-            )
+            if any_cap:
+                for flow in unfrozen:
+                    head = flow.rate_cap - rates[flow]
+                    if head < delta:
+                        delta = head
             if delta > _EPS:
                 for flow in unfrozen:
                     rates[flow] += delta
                     for link in flow.path:
                         residual[link.link_id] -= delta
-            # Freeze flows pinned by a saturated link or their own cap.
-            frozen = set()
+            # Freeze flows pinned by a saturated link or their own cap;
+            # survivors are compacted in place, preserving order.
+            write = 0
+            frozen_any = False
             for flow in unfrozen:
                 at_cap = rates[flow] >= flow.rate_cap - _EPS
                 saturated = any(
                     residual[link.link_id] <= _EPS for link in flow.path
                 )
                 if at_cap or saturated:
-                    frozen.add(flow)
-            if not frozen:
+                    frozen_any = True
+                    for link in flow.path:
+                        lid = link.link_id
+                        count = crossing[lid] - 1
+                        if count:
+                            crossing[lid] = count
+                        else:
+                            del crossing[lid]
+                else:
+                    unfrozen[write] = flow
+                    write += 1
+            if not frozen_any:
                 break
-            unfrozen = [flow for flow in unfrozen if flow not in frozen]
+            del unfrozen[write:]

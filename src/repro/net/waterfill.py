@@ -1,0 +1,310 @@
+"""Cached bottleneck-level structure for the within-component water-fill.
+
+The progressive max-min fill (:meth:`FlowNetwork._fill_maxmin`) produces,
+per connected component, a sequence of *saturation levels*: pass ``j``
+hands every still-unfrozen flow the same increment ``delta_j``, then
+freezes the flows pinned by a newly saturated link.  A flow frozen at
+level ``j`` ends with rate ``cum_j = delta_0 + ... + delta_j`` (each
+flow's accumulator applies the same float additions in the same order,
+so the prefix sum is one shared float per level, not a per-flow value).
+
+This module caches that structure per component so that a single flow
+arrival or departure can *splice*: levels below the first perturbed pass
+``j*`` are reused verbatim — their deltas, freeze sets, per-flow rates
+and link residuals are provably bit-identical to what a from-scratch
+fill over the new population would recompute — and only passes ``>= j*``
+are re-run, starting from the cached entry state.
+
+Bit-exactness argument (the cache is only used for *clean* components:
+``maxmin`` policy, every member with ``min_rate == 0`` and an infinite
+``rate_cap``, no macro-flows):
+
+* Links not crossed by the changed flow keep an identical per-pass
+  subtraction sequence (same flows, same order, same deltas), hence
+  bit-identical residuals — snapshotted at each pass entry.
+* Links crossed by the changed flow have their residual chains replayed
+  exactly.  Within one pass every unfrozen crosser subtracts the *same*
+  ``delta``, and a chain of identical subtractions yields the same value
+  in any order, so including/excluding the changed flow is one extra or
+  one fewer subtraction per pass — exact either way.
+* ``delta_j`` is a ``min`` over link ratios — order-independent for
+  floats — so it is unchanged as long as the changed flow's links never
+  tie or undercut the cached minimum; the scan detects exactly that
+  (treating ties as divergence, since a tie can reassign freeze sets).
+
+Whenever a precondition fails (reservations, caps, SLO-gated fills,
+macro splits, component merges, ambiguous terminal passes) the caller
+falls back to a full refill, which rebuilds the cache from scratch.
+The fallback is always bit-exact by construction, so the cache is
+purely an optimisation with a correctness proof, validated by the
+differential suite against the ``fullscan`` oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+_EPS = 1e-9
+
+# Sentinel level index for flows not yet frozen by any recorded pass
+# (a just-attached flow during an arrival splice scan).
+UNFROZEN = 1 << 30
+
+
+class Level:
+    """One saturation level of a component's cached fill.
+
+    ``delta``
+        The fair-share increment handed out by this pass.
+    ``cum``
+        Prefix-sum rate of every flow frozen at this level (the shared
+        float accumulator ``delta_0 + ... + delta_j``).
+    ``entry_residual``
+        Snapshot of every component link's residual at entry of this
+        pass — the resume state for a splice at this level.
+    ``terminal``
+        True when the fill loop exited with these flows still unfrozen
+        (no link crossed the saturation epsilon — a float-edge case).
+        Terminal levels are never spliced over; any event touching one
+        forces recomputation from it.
+    """
+
+    __slots__ = ("index", "delta", "cum", "entry_residual", "terminal")
+
+    def __init__(self, index: int, delta: float, cum: float,
+                 entry_residual: dict, terminal: bool = False) -> None:
+        self.index = index
+        self.delta = delta
+        self.cum = cum
+        self.entry_residual = entry_residual
+        self.terminal = terminal
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Level {self.index} delta={self.delta:.3e} "
+                f"cum={self.cum:.3e} terminal={self.terminal}>")
+
+
+class SpliceScan:
+    """Result of a splice feasibility scan.
+
+    ``j_star``
+        First pass whose outcome the event perturbs; levels below it
+        are reused verbatim.  ``None`` means the cache cannot be used
+        (ambiguous state — caller must full-refill).
+    ``flink_residuals``
+        Replayed entry-of-pass-``j_star`` residuals for the changed
+        flow's links (bit-exact chains for the new population).
+    ``history``
+        Entry-of-pass-``i`` residuals for the changed flow's links, for
+        every reused pass ``i < j_star``.  The caller patches these
+        into the cached levels' ``entry_residual`` snapshots so future
+        splices on those links resume from new-population chains.
+    """
+
+    __slots__ = ("j_star", "flink_residuals", "history")
+
+    def __init__(self, j_star, flink_residuals, history=None):
+        self.j_star = j_star
+        self.flink_residuals = flink_residuals
+        self.history = history if history is not None else []
+
+
+def splice_scan(flow, levels: list, link_states: dict,
+                arrival: bool) -> SpliceScan:
+    """Find the first cached pass perturbed by *flow* arriving/departing.
+
+    For each cached pass ``j`` (lowest first) the changed flow's links
+    are checked against the cached ``delta_j``:
+
+    * **arrival** — with the new flow counted as an unfrozen crosser,
+      a link ratio ``residual / count`` at or below ``delta_j`` means
+      the pass minimum (or its achieving link) changes; a link that
+      would cross the saturation epsilon after the pass freezes the
+      new flow (and that link's other crossers) earlier than cached.
+    * **departure** — the departed flow's links are checked with the
+      *old* population (its subtractions replayed, its crossing
+      counted): a ratio at or below ``delta_j`` means the cached
+      minimum was achieved (or tied) by one of its links, so removing
+      it changes the pass.  Ratios strictly above the cached delta
+      only move further above it when the flow leaves.
+
+    The scan never runs past the departing flow's own freeze level
+    (that pass loses a member, so it is always recomputed) or past a
+    terminal level.  The caller guarantees *flow* is already attached
+    (arrival) or detached (departure) from the link flow dicts.
+    """
+    m = len(levels)
+    if arrival:
+        limit = m
+    else:
+        my_level = flow._level_idx
+        if my_level is None:
+            return SpliceScan(None, None)
+        # The departed flow's own freeze pass loses a member and is
+        # always recomputed; passes beyond it need no scan.
+        limit = min(my_level, m)
+
+    # Replayed residual chains for the changed flow's links.  Each cell
+    # carries the *new*-population chain (the splice entry state) and,
+    # for departures, the *old*-population chain (with the departed
+    # flow's one-extra subtraction per pass) used to detect
+    # cached-argmin ties.
+    flink = {}
+    for link in flow.path:
+        state = link_states.get(link.link_id)
+        if state is None:
+            return SpliceScan(None, None)
+        cap = state.link.capacity
+        flink[link.link_id] = [state, cap, cap]  # [state, new, old]
+
+    j_star = limit
+    history: list = []
+    resume = None
+    for j in range(limit):
+        level = levels[j]
+        # Entry-of-pass-j chains for the new population (pre-advance).
+        entry_now = {lid: cell[1] for lid, cell in flink.items()}
+        if level.terminal:
+            j_star = j
+            resume = entry_now
+            break
+        delta = level.delta
+        diverged = False
+        for cell in flink.values():
+            state = cell[0]
+            # Unfrozen crossers of this link at entry of pass j (the
+            # new population: an arriving flow is already attached and
+            # carries no level yet, a departed flow is detached).
+            cnt = 0
+            for g in state.flows.values():
+                lvl = g._level_idx
+                if lvl is None:
+                    lvl = UNFROZEN
+                if lvl >= j:
+                    cnt += 1
+            if arrival:
+                if cnt and cell[1] / cnt <= delta:
+                    diverged = True
+                    break
+            else:
+                # The departed flow was unfrozen at every scanned pass
+                # (j < its own freeze level).
+                if cell[2] / (cnt + 1) <= delta:
+                    diverged = True
+                    break
+        if diverged:
+            j_star = j
+            resume = entry_now
+            break
+        # Advance the replayed chains through pass j: exact sequential
+        # subtraction.  All subtractions in a pass are the same delta,
+        # so in-pass order is numerically irrelevant; the departed
+        # flow's own subtraction is appended once per pass.
+        if delta > _EPS:
+            for cell in flink.values():
+                state, res_new, res_old = cell
+                for g in state.flows.values():
+                    lvl = g._level_idx
+                    if lvl is None:
+                        lvl = UNFROZEN
+                    if lvl >= j:
+                        res_new -= delta
+                        res_old -= delta
+                if not arrival:
+                    res_old -= delta
+                cell[1] = res_new
+                cell[2] = res_old
+        if arrival:
+            # With the new flow's subtraction applied, a link of the
+            # new flow crossing the saturation epsilon at the end of
+            # this pass freezes it (and the link's other unfrozen
+            # crossers) here — earlier than the cache recorded.  The
+            # chained value is exact, so this matches the fill's own
+            # freeze predicate bit-for-bit; pass j itself must be
+            # re-run, so the entry state is the pre-advance chain.
+            froze = False
+            for cell in flink.values():
+                if cell[1] <= _EPS:
+                    froze = True
+                    break
+            if froze:
+                return SpliceScan(j, entry_now, history)
+        history.append(entry_now)
+    if resume is None:
+        resume = {lid: cell[1] for lid, cell in flink.items()}
+    return SpliceScan(j_star, resume, history)
+
+
+class AnalyticState:
+    """Virtual-service accounting for an ``analytic``-mode component.
+
+    Restricted to *clean single-link* components, where the fill is a
+    single level: every member shares the link's fair share
+    ``capacity / n``.  Instead of settling each member's ``remaining``
+    through every rate epoch (provably Θ(members) per event for any
+    bit-exact chain), the component integrates one shared service
+    curve ``V(t) = ∫ rate dt``: a flow joining at service level
+    ``V_join`` with ``size`` bytes completes exactly when
+    ``V(t) = V_join + size``.  Completion order is a static key, so a
+    single heap and one armed timer give O(log n) per event — flat in
+    component size.  Rates are identical floats to the eager fill;
+    completion *instants* agree with the eager chains only in real
+    arithmetic (ulp-level drift), which is why this lives behind the
+    opt-in ``analytic`` allocator mode.
+    """
+
+    __slots__ = ("env", "link_state", "v", "last_t", "rate", "count", "heap")
+
+    def __init__(self, env, link_state) -> None:
+        self.env = env
+        self.link_state = link_state
+        self.v = 0.0
+        self.last_t = env.now
+        self.rate = 0.0
+        self.count = 0
+        # (v_target, arrival_order, flow_id, flow)
+        self.heap: list = []
+
+    def advance(self, now: float) -> None:
+        """Integrate the shared service curve up to *now*."""
+        elapsed = now - self.last_t
+        if elapsed > 0.0 and self.rate > 0.0:
+            dv = self.rate * elapsed
+            self.v += dv
+            # Every member is active for the whole epoch (completions
+            # and churn are themselves events), so the link carries
+            # count * dv bytes.
+            self.link_state.bytes_carried += self.count * dv
+        self.last_t = now
+
+    def service_now(self) -> float:
+        """Current V including the in-flight epoch (read-only)."""
+        elapsed = self.env.now - self.last_t
+        if elapsed > 0.0 and self.rate > 0.0:
+            return self.v + self.rate * elapsed
+        return self.v
+
+    def recompute_rate(self) -> None:
+        cap = self.link_state.link.capacity
+        self.rate = cap / self.count if self.count else 0.0
+
+    def join(self, flow, remaining: float) -> None:
+        """Register *flow* with *remaining* bytes at the current V."""
+        flow._astate = self
+        flow._v_done = self.v + remaining
+        self.count += 1
+        heapq.heappush(
+            self.heap,
+            (flow._v_done, flow.arrival_order, flow.flow_id, flow),
+        )
+
+    def front(self):
+        """The live head of the completion heap (lazy-deleted)."""
+        heap = self.heap
+        while heap:
+            flow = heap[0][3]
+            if flow.done.triggered or flow._astate is not self:
+                heapq.heappop(heap)
+                continue
+            return heap[0]
+        return None

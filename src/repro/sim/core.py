@@ -455,6 +455,13 @@ class Environment:
         time, _seq, entry = heapq.heappop(self._queue)
         if time < self._now:
             raise SimulationError("event scheduled in the past")
+        if isinstance(entry, ScheduledCall) and entry.cancelled:
+            # A cancelled call is a non-event: drop the stale entry
+            # without advancing the clock, so the post-run ``now``
+            # reflects the last *live* event regardless of what
+            # garbage each allocator's arming pattern left behind.
+            self._stale -= 1
+            return
         self._now = time
         if isinstance(entry, Event):
             entry._processed = True
@@ -467,10 +474,7 @@ class Environment:
                     raise exc
                 raise SimulationError(str(exc))
         elif isinstance(entry, ScheduledCall):
-            if entry.cancelled:
-                self._stale -= 1
-            else:
-                entry.call()
+            entry.call()
         else:
             entry()
 

@@ -1,0 +1,167 @@
+"""Directed tests for the cached bottleneck-level water-fill.
+
+The property suite proves bit-exactness wholesale; these tests pin the
+*mechanism*: which events splice (and how many levels they reuse),
+which rebuild, and which invalidate the cache outright (component
+merges, macro-flow splits).  Counters observed: ``cache_hits`` /
+``cache_rebuilds`` (per fast-path event) and ``levels_spliced`` /
+``levels_recomputed`` (per level).
+"""
+
+import pytest
+
+from repro.common.units import MB
+from repro.net import FlowNetwork, Link, LinkKind
+from repro.sim import Environment
+
+
+def _link(link_id, capacity):
+    return Link(link_id=link_id, src=f"{link_id}.s", dst=f"{link_id}.d",
+                capacity=capacity, kind=LinkKind.PCIE)
+
+
+class TestSpliceMechanics:
+    def test_single_level_splice_on_arrival(self):
+        # A bridge flow across a tight and a wide link gives the cache
+        # a genuine two-level structure: pass 0 (delta 50) freezes the
+        # tight link's crossers, pass 1 tops the wide link's flow up.
+        env2 = Environment()
+        net2 = FlowNetwork(env2, allocator="incremental")
+        m0, m1 = _link("m0", 100 * MB), _link("m1", 400 * MB)
+        a = net2.start_flow([m0, m1], 500 * MB)   # bridge, frozen @ lvl 0
+        b = net2.start_flow([m0], 500 * MB)       # frozen @ lvl 0
+        c = net2.start_flow([m1], 500 * MB)       # frozen @ lvl 1
+        comp = a._comp
+        cache = comp.cache
+        assert cache is not None and len(cache) == 2
+        assert a._level_idx == 0 and b._level_idx == 0
+        assert c._level_idx == 1
+        assert a.rate == b.rate == 50 * MB
+        assert c.rate == pytest.approx(350 * MB)
+        hits, spliced = net2.cache_hits, net2.levels_spliced
+        # A newcomer on the wide link only: level 0 (the tight link's
+        # pass) is reused verbatim, only the tail is recomputed.
+        d = net2.start_flow([m1], 500 * MB)
+        assert net2.cache_hits == hits + 1
+        assert net2.levels_spliced == spliced + 1
+        assert a.rate == b.rate == 50 * MB      # untouched by splice
+        assert c.rate == d.rate == pytest.approx(175 * MB)
+        assert a._level_idx == 0 and c._level_idx == 1
+
+    def test_cascade_recomputes_from_perturbed_level(self):
+        env2 = Environment()
+        net2 = FlowNetwork(env2, allocator="incremental")
+        m0, m1 = _link("m0", 100 * MB), _link("m1", 400 * MB)
+        a = net2.start_flow([m0, m1], 500 * MB)
+        b = net2.start_flow([m0], 500 * MB)
+        c = net2.start_flow([m1], 500 * MB)
+        hits, rebuilds = net2.cache_hits, net2.cache_rebuilds
+        spliced = net2.levels_spliced
+        # A newcomer crossing the *tight* link perturbs pass 0: the
+        # scan diverges at j*=0 and no level is reused (the cache entry
+        # state is still consulted -- counted as a hit with 0 levels).
+        d = net2.start_flow([m0], 500 * MB)
+        assert net2.cache_hits == hits + 1
+        assert net2.levels_spliced == spliced  # nothing reused
+        assert net2.cache_rebuilds == rebuilds
+        third = 100 * MB / 3
+        assert a.rate == b.rate == d.rate == pytest.approx(third)
+        assert c.rate == pytest.approx(400 * MB - third)
+
+    def test_departure_splice_reuses_lower_levels(self):
+        env2 = Environment()
+        net2 = FlowNetwork(env2, allocator="incremental")
+        m0, m1 = _link("m0", 100 * MB), _link("m1", 400 * MB)
+        a = net2.start_flow([m0, m1], 800 * MB)
+        b = net2.start_flow([m0], 800 * MB)
+        c = net2.start_flow([m1], 800 * MB)
+        d = net2.start_flow([m1], 800 * MB)
+        env2.run(until=0.01)
+        hits, spliced = net2.cache_hits, net2.levels_spliced
+        # c was frozen at level 1; its departure cannot perturb the
+        # tight link's pass 0, which is spliced back unchanged.
+        net2.cancel_flow(c)
+        c.done.defuse()
+        assert net2.cache_hits == hits + 1
+        assert net2.levels_spliced == spliced + 1
+        assert a.rate == b.rate == 50 * MB
+        assert d.rate == pytest.approx(350 * MB)
+
+    def test_splice_matches_fresh_fill_bit_exact(self):
+        """Spliced rates equal a from-scratch fullscan's, by hex."""
+        def run(allocator):
+            env = Environment()
+            net = FlowNetwork(env, allocator=allocator)
+            m0, m1 = _link("m0", 100 * MB), _link("m1", 400 * MB)
+            flows = [
+                net.start_flow([m0, m1], 800 * MB),
+                net.start_flow([m0], 800 * MB),
+                net.start_flow([m1], 800 * MB),
+                net.start_flow([m1], 800 * MB),
+            ]
+            env.run(until=0.005)
+            flows.append(net.start_flow([m1], 800 * MB))  # splice
+            env.run(until=0.01)
+            net.cancel_flow(flows[2])                      # splice
+            flows[2].done.defuse()
+            return [
+                (f.rate.hex(), f.remaining.hex())
+                for f in flows if not f.done.triggered
+            ]
+
+        assert run("incremental") == run("fullscan")
+
+
+class TestCacheInvalidation:
+    def test_component_merge_drops_cache(self):
+        env = Environment()
+        net = FlowNetwork(env, allocator="incremental")
+        l0, l1 = _link("l0", 100 * MB), _link("l1", 400 * MB)
+        f0 = net.start_flow([l0], 500 * MB)
+        f1 = net.start_flow([l0], 500 * MB)
+        g0 = net.start_flow([l1], 500 * MB)
+        assert f0._comp is not g0._comp
+        assert f0._comp.cache is not None
+        rebuilds = net.cache_rebuilds
+        # The bridge merges both components: neither cache describes
+        # the union, so the arrival itself is a full rebuild.
+        bridge = net.start_flow([l0, l1], 500 * MB)
+        assert bridge._comp is f0._comp is g0._comp
+        assert net.cache_rebuilds == rebuilds + 1
+        assert bridge._comp.cache is not None  # rebuilt for the union
+
+    def test_macro_split_drops_cache(self):
+        env = Environment()
+        net = FlowNetwork(env, allocator="incremental")
+        l0 = _link("l0", 100 * MB)
+        macro = net.start_macro_flow(
+            [l0], 64 * MB, batch_bytes=4 * MB, batch_setup=1e-4
+        )
+        assert macro is not None and macro._macro is not None
+        env.run(until=0.05)
+        rebuilds, hits = net.cache_rebuilds, net.cache_hits
+        # A disturbance splits the macro at the batch boundary; the
+        # level cache (if any) dies with it and the arrival that
+        # caused the split must rebuild, not splice.
+        newcomer = net.start_flow([l0], 32 * MB)
+        comp = newcomer._comp
+        assert net._macro_live == 0
+        assert comp.n_macro == 0
+        assert net.cache_hits == hits
+        assert net.cache_rebuilds >= rebuilds + 1
+        env.run()
+        assert newcomer.done.triggered
+
+    def test_unclean_member_bypasses_cache(self):
+        env = Environment()
+        net = FlowNetwork(env, allocator="incremental")
+        l0 = _link("l0", 100 * MB)
+        net.start_flow([l0], 500 * MB)
+        hits, rebuilds = net.cache_hits, net.cache_rebuilds
+        # A rate-capped member makes the component unclean: the event
+        # takes the classic scoped pass, never touching the cache.
+        capped = net.start_flow([l0], 500 * MB, rate_cap=30 * MB)
+        assert net.cache_hits == hits
+        assert net.cache_rebuilds == rebuilds
+        assert capped._comp.cache is None
+        assert capped.rate == 30 * MB

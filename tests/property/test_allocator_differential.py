@@ -151,6 +151,10 @@ def _replay(specs: list[dict], policy: str, allocator: str) -> dict:
         "timer_reschedules": net.timer_reschedules,
         "timer_elisions": net.timer_elisions,
         "end": env.now,
+        # Mode-specific by construction (the oracle never splices):
+        # popped before any cross-allocator equality compare.
+        "cache_hits": net.cache_hits,
+        "cache_rebuilds": net.cache_rebuilds,
     }
 
 
@@ -162,12 +166,90 @@ def test_incremental_matches_fullscan_bit_exactly(policy):
         specs_b = _make_workload(seed, policy)
         a = _replay(specs_a, policy, "incremental")
         b = _replay(specs_b, policy, "fullscan")
+        for stats in (a, b):
+            stats.pop("cache_hits")
+            stats.pop("cache_rebuilds")
         if a != b:
             mismatches.append(seed)
     assert not mismatches, (
         f"incremental diverged from fullscan reference for {policy} "
         f"seeds {mismatches[:10]} ({len(mismatches)}/{N_SEEDS})"
     )
+
+
+def _make_clean_workload(seed: int) -> list[dict]:
+    """All-clean flows (no reservations/caps): the cached-waterfill
+    fast path handles every event, with merge/split churn from
+    multi-hop paths and mid-flight cancels."""
+    rng = random.Random(seed * 2654435761 % (1 << 31))
+    paths = _path_choices(_dgx_links())
+    # Fan-in flows on the shared NIC keep events landing in one
+    # established component -- the splice-friendly regime (multi-link
+    # departures dissolve their component and force a rebuild).
+    specs = []
+    for index in range(rng.randint(6, 24)):
+        # Tight arrival window + sizes that outlast it: components
+        # stay populated, so consecutive events hit the same cache.
+        start = round(rng.uniform(0.0, 0.12), 6)
+        spec = {
+            "index": index,
+            "start": start,
+            "path": (10,) if rng.random() < 0.55 else rng.choice(paths),
+            "size": rng.choice([8, 32, 128]) * MB * rng.uniform(0.5, 1.5),
+            "min_rate": 0.0,
+            "rate_cap": float("inf"),
+            "slo_deadline": None,
+            "cancel_at": None,
+        }
+        if rng.random() < 0.25:
+            spec["cancel_at"] = start + rng.uniform(0.001, 0.15)
+        specs.append(spec)
+    return specs
+
+
+def test_cached_waterfill_matches_fullscan_bit_exactly():
+    """Clean churn: every event runs the level cache (splice or
+    rebuild), and every observable must still be ``==`` to the
+    fullscan oracle.  Also asserts the cache actually engages."""
+    mismatches = []
+    total_hits = total_rebuilds = 0
+    for seed in range(N_SEEDS):
+        specs_a = _make_clean_workload(seed)
+        specs_b = _make_clean_workload(seed)
+        a = _replay(specs_a, "maxmin", "incremental")
+        b = _replay(specs_b, "maxmin", "fullscan")
+        total_hits += a.pop("cache_hits")
+        total_rebuilds += a.pop("cache_rebuilds")
+        b.pop("cache_hits")
+        b.pop("cache_rebuilds")
+        if a != b:
+            mismatches.append(seed)
+    assert not mismatches, (
+        f"cached waterfill diverged from fullscan for seeds "
+        f"{mismatches[:10]} ({len(mismatches)}/{N_SEEDS})"
+    )
+    # The suite is meaningless if the cache never engages.
+    assert total_hits > N_SEEDS, (total_hits, total_rebuilds)
+    assert total_rebuilds > 0
+
+
+def test_analytic_matches_fullscan_rates_and_instants():
+    """The opt-in ``analytic`` mode integrates one shared service
+    curve per single-link component: rates are identical floats, but
+    completion *instants* agree with the eager chains only in real
+    arithmetic -- compared to rel 1e-9, not bit-exactly."""
+    for seed in range(40):
+        specs_a = _make_clean_workload(seed)
+        specs_b = _make_clean_workload(seed)
+        a = _replay(specs_a, "maxmin", "analytic")
+        b = _replay(specs_b, "maxmin", "fullscan")
+        assert a["outcome"].keys() == b["outcome"].keys(), f"seed {seed}"
+        for index, (kind, at) in a["outcome"].items():
+            other_kind, other_at = b["outcome"][index]
+            assert kind == other_kind, f"seed {seed} flow {index}"
+            assert at == pytest.approx(other_at, rel=1e-9, abs=1e-9), (
+                f"seed {seed} flow {index}: {at} vs {other_at}"
+            )
 
 
 def test_incremental_matches_legacy_finish_times_maxmin():

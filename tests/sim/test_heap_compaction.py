@@ -52,15 +52,21 @@ class TestScheduledCall:
         with pytest.raises(SimulationError):
             env.schedule(-0.1, lambda: None)
 
-    def test_popped_stale_entry_advances_clock(self):
-        # A cancelled timer that survives until its pop still advances
-        # the clock to its deadline (the pre-handle behaviour, which
-        # experiment outputs depend on).
+    def test_popped_stale_entry_does_not_advance_clock(self):
+        # A cancelled call is a non-event: its stale heap entry pops
+        # without moving the clock, so the post-run ``now`` reflects
+        # the last *live* event regardless of which allocator's arming
+        # pattern left the garbage behind.  (Pre-PR7 the pop advanced
+        # the clock; nothing observable depended on it -- every
+        # experiment output is event-timestamped.)
         env = Environment()
+        fired = []
+        env.schedule(1.0, lambda: fired.append(env.now))
         handle = env.schedule(2.0, lambda: None)
         handle.cancel()
         env.run()
-        assert env.now == 2.0
+        assert fired == [1.0]
+        assert env.now == 1.0
         assert env.stale_entries == 0
 
 
