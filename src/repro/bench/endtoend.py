@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.bench.netflow import SCHEMA_VERSION
+from repro.common.config import mode_metadata
 
 RSS_RATIO_THRESHOLD = 1.5
 _RSS_SAMPLE_EVERY = 256  # results between /proc RSS samples
@@ -239,6 +240,7 @@ def run_endtoend_benchmarks(
         "schema": SCHEMA_VERSION,
         "generated_by": "repro bench --suite endtoend",
         "mode": "quick" if quick else "full",
+        "modes": mode_metadata(),
         "python": _platform.python_version(),
         "benchmarks": runs,
     }

@@ -43,12 +43,15 @@ speedups and :func:`write_results` records everything in
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import json
 import math
 import platform
 import time
 from typing import Callable, Optional, Sequence
 
+from repro.common.config import mode_metadata
 from repro.common.units import MB
 from repro.net.links import Link, LinkKind
 from repro.net.network import FlowNetwork
@@ -57,6 +60,26 @@ from repro.sim.core import Environment
 
 SCHEMA_VERSION = 1
 DEFAULT_ALLOCATORS = ("incremental", "legacy")
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Keep the cyclic collector out of a timed churn window.
+
+    The scaling scenarios pin O(10k) flow objects (with ``_comp``
+    back-references) before timing a few hundred churn events; a gen-2
+    collection inside the window costs Θ(population) and shows up as
+    per-event cost that is really allocator-independent GC pressure.
+    Collect once up front so the window starts clean, then disable.
+    """
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 def _result(name: str, allocator: str, net: FlowNetwork,
@@ -83,6 +106,12 @@ def _result(name: str, allocator: str, net: FlowNetwork,
         "levels_spliced": net.levels_spliced,
         "levels_recomputed": net.levels_recomputed,
         "analytic_events": net.analytic_events,
+        # Macro-flow coalescing and epoch fast-forwarding activity
+        # (zero for allocators/modes that never engage them).
+        "macro_coalesced": net.macro_coalesced,
+        "macro_splits": net.macro_splits,
+        "epoch_boundaries": net.epoch_boundaries,
+        "epoch_settles": net.epoch_settles,
     }
 
 
@@ -207,10 +236,11 @@ def bench_fanin_scaling(
 
         env.process(churner())
         events = 2 * churn_rounds  # one start + one finish per restart
-        start = time.perf_counter()
-        while not churn_done:
-            env.step()
-        wall = max(time.perf_counter() - start, 1e-9)
+        with _gc_paused():
+            start = time.perf_counter()
+            while not churn_done:
+                env.step()
+            wall = max(time.perf_counter() - start, 1e-9)
         rows.append({
             "flows": n,
             "churn_events": events,
@@ -229,6 +259,100 @@ def bench_fanin_scaling(
         "rows": rows,
         # Aggregates so the document's flat schema consumers (summary
         # table, CI assertion) can treat this like any other record.
+        "flow_events": sum(r["churn_events"] for r in rows),
+        "wall_s": sum(r["wall_s"] for r in rows),
+        "events_per_sec": (
+            sum(r["churn_events"] for r in rows)
+            / max(sum(r["wall_s"] for r in rows), 1e-9)
+        ),
+    }
+    if len(rows) > 1:
+        record["per_event_ratio_max_over_min_flows"] = (
+            rows[-1]["per_event_us"] / rows[0]["per_event_us"]
+        )
+    return record
+
+
+def bench_component_storm(
+    allocator: str,
+    flow_counts: Sequence[int] = (1000, 4000, 10000),
+    churn_rounds: int = 250,
+    leaves: int = 16,
+) -> dict:
+    """Churn inside one large *multi-link* clean component.
+
+    N pinned flows spread over *leaves* leaf links, every path crossing
+    one huge shared uplink, so the whole topology is a single clean
+    component with ``leaves + 2`` links; a churner restarts short flows
+    back-to-back on a sparse dedicated leaf.  Only the churn phase is
+    timed.
+
+    Leaf capacities are exact multiples of the per-leaf population
+    (power-of-two per-flow shares), so the water-fill's freeze
+    residuals hit exactly ``0.0`` and the level structure is one level
+    per leaf instead of one terminal catch-all — the representative
+    case for the splice cache.  The eager ``incremental`` allocator
+    still pays Θ(N) per churn event (advance + partition over every
+    member); ``epoch`` defers member advances into the component
+    ledger and splices through the per-level buckets, so its per-event
+    cost is flat in N — the multi-link epoch fast-forwarding headline
+    (read ``per_event_ratio_max_over_min_flows``).
+    """
+    rows: list[dict] = []
+    for n in flow_counts:
+        env = Environment()
+        net = FlowNetwork(env, allocator=allocator)
+        per = max(1, n // leaves)
+        shared = Link(link_id="storm.shared", src="agg", dst="sink",
+                      capacity=float(1 << 45), kind=LinkKind.NIC)
+        churn_leaf = Link(link_id="storm.churnleaf", src="cn", dst="agg",
+                          capacity=float(1 << 34), kind=LinkKind.PCIE)
+        for k in range(leaves):
+            leaf = Link(
+                link_id=f"storm.leaf{k}", src=f"n{k}", dst="agg",
+                capacity=float((k + 1) * per * (1 << 20)),
+                kind=LinkKind.PCIE,
+            )
+            # Pinned population: sized to outlive the churn phase.
+            for _ in range(per):
+                net.start_flow([leaf, shared], 1e15)
+        # Two pinned flows keep the churn leaf inside the component.
+        for _ in range(2):
+            net.start_flow([churn_leaf, shared], 1e15)
+        churn_done: list[bool] = []
+
+        def churner():
+            for round_no in range(churn_rounds):
+                flow = net.start_flow(
+                    [churn_leaf], (1 + round_no % 7) * MB / 8
+                )
+                yield flow.done
+            churn_done.append(True)
+
+        env.process(churner())
+        events = 2 * churn_rounds
+        with _gc_paused():
+            start = time.perf_counter()
+            while not churn_done:
+                env.step()
+            wall = max(time.perf_counter() - start, 1e-9)
+        rows.append({
+            "flows": leaves * per + 2,
+            "churn_events": events,
+            "wall_s": wall,
+            "events_per_sec": events / wall,
+            "per_event_us": wall / events * 1e6,
+            "cache_hits": net.cache_hits,
+            "cache_rebuilds": net.cache_rebuilds,
+            "epoch_boundaries": net.epoch_boundaries,
+            "epoch_settles": net.epoch_settles,
+        })
+    record = {
+        "name": "component_storm",
+        "allocator": allocator,
+        "config": {"flow_counts": list(flow_counts),
+                   "churn_rounds": churn_rounds, "leaves": leaves},
+        "rows": rows,
         "flow_events": sum(r["churn_events"] for r in rows),
         "wall_s": sum(r["wall_s"] for r in rows),
         "events_per_sec": (
@@ -396,6 +520,11 @@ BENCHMARKS: dict[str, tuple[BenchFn, dict, dict]] = {
         {"flow_counts": (1000, 4000, 10000), "churn_rounds": 250},
         {"flow_counts": (256, 1024), "churn_rounds": 60},
     ),
+    "component_storm": (
+        bench_component_storm,
+        {"flow_counts": (1000, 4000, 10000), "churn_rounds": 250},
+        {"flow_counts": (256, 1024), "churn_rounds": 60},
+    ),
     "multipath_chunk_storm": (
         bench_multipath_chunk_storm,
         {"groups": 16, "transfers_per_group": 4, "transfer_mb": 24},
@@ -408,11 +537,17 @@ BENCHMARKS: dict[str, tuple[BenchFn, dict, dict]] = {
     ),
 }
 
-# Per-benchmark allocator override: the scaling curve needs the opt-in
-# ``analytic`` mode (the flat-cost row) next to the eager ones.
+# Per-benchmark allocator override: the scaling curves need the opt-in
+# fast modes (the flat-cost rows) next to the eager ones.
 BENCH_ALLOCATORS: dict[str, tuple[str, ...]] = {
     "fanin_scaling": ("incremental", "analytic", "legacy"),
+    "component_storm": ("incremental", "epoch"),
 }
+
+# Scaling benchmarks are compared per-row (per_event_us across flow
+# counts), not by aggregate events/sec, so the incremental-over-legacy
+# speedup loop skips them.
+SCALING_BENCHMARKS = ("fanin_scaling", "component_storm")
 
 
 def run_benchmarks(
@@ -440,7 +575,7 @@ def run_benchmarks(
             runs.append(fn(allocator, **kwargs))
     speedups: dict[str, float] = {}
     for name in selected:
-        if name == "fanin_scaling":
+        if name in SCALING_BENCHMARKS:
             continue  # compared per-row below, not by aggregate
         by_alloc = {
             run["allocator"]: run for run in runs if run["name"] == name
@@ -454,25 +589,27 @@ def run_benchmarks(
         "schema": SCHEMA_VERSION,
         "generated_by": "repro bench",
         "mode": "quick" if quick else "full",
+        "modes": mode_metadata(),
         "python": platform.python_version(),
         "benchmarks": runs,
         "speedup_incremental_over_legacy": speedups,
     }
-    scaling: dict[str, dict] = {}
-    for run in runs:
-        if run["name"] != "fanin_scaling":
-            continue
-        scaling[run["allocator"]] = {
-            "per_event_us": {
-                str(row["flows"]): row["per_event_us"]
-                for row in run["rows"]
-            },
-            "per_event_ratio_max_over_min_flows": run.get(
-                "per_event_ratio_max_over_min_flows"
-            ),
-        }
-    if scaling:
-        document["fanin_scaling"] = scaling
+    for scale_name in SCALING_BENCHMARKS:
+        scaling: dict[str, dict] = {}
+        for run in runs:
+            if run["name"] != scale_name:
+                continue
+            scaling[run["allocator"]] = {
+                "per_event_us": {
+                    str(row["flows"]): row["per_event_us"]
+                    for row in run["rows"]
+                },
+                "per_event_ratio_max_over_min_flows": run.get(
+                    "per_event_ratio_max_over_min_flows"
+                ),
+            }
+        if scaling:
+            document[scale_name] = scaling
     return document
 
 

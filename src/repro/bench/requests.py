@@ -21,6 +21,7 @@ import time
 from typing import Callable, Optional, Sequence
 
 from repro.bench.netflow import SCHEMA_VERSION
+from repro.common.config import mode_metadata
 from repro.platform import build_platform
 from repro.workflow import get_workload
 
@@ -116,6 +117,7 @@ def run_platform_benchmarks(
         "schema": SCHEMA_VERSION,
         "generated_by": "repro bench --suite platform",
         "mode": "quick" if quick else "full",
+        "modes": mode_metadata(),
         "python": _platform.python_version(),
         "benchmarks": runs,
     }

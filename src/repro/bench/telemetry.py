@@ -33,6 +33,7 @@ import time
 from typing import Callable, Optional, Sequence
 
 from repro.bench.netflow import SCHEMA_VERSION
+from repro.common.config import mode_metadata
 from repro.telemetry.bus import EventBus
 from repro.telemetry.events import (
     FlowFinished,
@@ -224,6 +225,7 @@ def run_telemetry_benchmarks(
         "schema": SCHEMA_VERSION,
         "generated_by": "repro bench --suite telemetry",
         "mode": "quick" if quick else "full",
+        "modes": mode_metadata(),
         "python": _platform.python_version(),
         "benchmarks": runs,
     }

@@ -73,25 +73,45 @@ Three other allocator modes exist for validation and benchmarking:
     in component size.  Rates are identical floats; completion
     *instants* drift from the eager subtraction chains at the ulp
     level, which is why this mode is opt-in rather than the default.
+``epoch``
+    ``incremental`` plus *deferred-advance epoch fast-forwarding* for
+    clean components of **any** link count (:mod:`repro.sim.epoch`).
+    Instead of eagerly settling every member at every event, each
+    event records one piecewise-constant-rate *epoch boundary* in a
+    per-component ledger; a member's exact eager subtraction chain is
+    replayed — same floats, same order — only when it is observed (its
+    own completion, a rate change, or a regime exit).  Unlike
+    ``analytic`` this is bit-identical to ``incremental``: it replays
+    the eager float chains lazily rather than replacing them with
+    closed forms.  Any disturbance (merge, cancel, byte query, dirty
+    precondition) hits an *epoch barrier* that materializes full eager
+    state before proceeding.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-import os
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.common.config import NET_ALLOCATORS, net_allocator
 from repro.common.errors import SimulationError
 from repro.net.links import Link
 from repro.net.waterfill import AnalyticState, Level, splice_scan
 from repro.sim.core import Environment, Event, ScheduledCall
+from repro.sim.epoch import ArmSequencer, EpochLedger, EpochRegion, TimerSlot
 from repro.telemetry.events import FlowFinished, FlowStarted, FlowsReallocated
 
 _EPS = 1e-9
 
-ALLOCATORS = ("incremental", "fullscan", "legacy", "analytic")
+ALLOCATORS = NET_ALLOCATORS
+
+# Deferred-advance ledgers are settled wholesale past this many epochs:
+# bounds the replay-chain length (and thus the worst-case accumulated
+# float error the >1-byte elision guard must absorb) and the ledger's
+# memory growth in very long quiescent stretches.
+_LEDGER_MAX_EPOCHS = 4096
 
 
 @dataclass
@@ -140,6 +160,12 @@ class Flow:
         "_level_idx",
         "_astate",
         "_v_done",
+        "_eled",
+        "_eh",
+        "_eidx",
+        "_ejoin",
+        "_edept",
+        "_erem0",
     )
 
     _ids = itertools.count()
@@ -199,6 +225,16 @@ class Flow:
         # Analytic-mode virtual-service state (clean 1-link components).
         self._astate: Optional[AnalyticState] = None
         self._v_done = 0.0
+        # Epoch-ledger membership (epoch allocator): the owning
+        # EpochLedger while this flow's advances are deferred, plus the
+        # replay bookkeeping it maintains (rate history, settled-epoch
+        # index, join/depart epochs, remaining-at-join seed).
+        self._eled: Optional[EpochLedger] = None
+        self._eh: Optional[list] = None
+        self._eidx = 0
+        self._ejoin = 0
+        self._edept = 0
+        self._erem0 = 0.0
 
     @property
     def rate(self) -> float:
@@ -217,6 +253,13 @@ class Flow:
         if st is not None:
             rem = self._v_done - st.service_now()
             return rem if rem > 0.0 else 0.0
+        led = self._eled
+        if led is not None:
+            # Settle-on-read: replays only this flow's own deferred
+            # subtraction chain (order-independent across flows), so
+            # external observers see the same as-of-last-boundary value
+            # an eager run would hold.
+            led.settle_member(self)
         return self._remaining
 
     @remaining.setter
@@ -250,6 +293,11 @@ class _LinkState:
     bytes_carried: float = 0.0
     # Owning component (persistent registry; incremental/analytic).
     comp: Optional["_Component"] = None
+    # Component whose epoch ledger still defers byte credits for this
+    # link after the link emptied and was pruned from it.  A
+    # ``bytes_carried`` query barriers it (and clears the pointer) so
+    # the accumulator is exact even though the link has no owner.
+    epoch_comp: Optional["_Component"] = None
 
 
 class _Component:
@@ -262,19 +310,23 @@ class _Component:
     link always belong to one component, so exactness of the registry
     follows from exactness of these three updates.
 
-    ``mode`` tracks which timer regime the members are in: ``classic``
-    (per-flow timers, the pre-cache behaviour, used whenever a
-    telemetry bus is attached or the component is unclean) or ``fast``
-    / ``analytic`` (one component timer).  Transitions cancel the old
-    regime's timers and re-arm under the new one.
+    Timer-regime state lives in the component's
+    :class:`~repro.sim.epoch.EpochRegion`: ``region.mode`` tracks which
+    regime the members are in — ``classic`` (per-flow timers, the
+    pre-cache behaviour, used whenever a telemetry bus is attached or
+    the component is unclean), ``fast`` (one slot timer over conceptual
+    ``(instant, seq)`` completions, optionally with a deferred-advance
+    ledger under the ``epoch`` allocator), or ``analytic`` (one shared
+    service curve).  Transitions cancel the old regime's timers and
+    re-arm under the new one.
     """
 
     __slots__ = (
         "order", "live", "links", "n_unclean", "n_macro", "order_dirty",
-        "cache", "mode", "timer", "timer_due", "timer_at", "astate",
+        "cache", "region",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, env: Environment, seq: ArmSequencer) -> None:
         # Arrival-ordered members; departures leave None tombstones
         # (compacted amortizedly), so iteration order never needs a
         # per-event sort.
@@ -291,12 +343,8 @@ class _Component:
         self.order_dirty = False
         # Cached bottleneck levels from the last clean fill.
         self.cache: Optional[list[Level]] = None
-        self.mode = "fast"
-        # Single component completion timer (fast/analytic regimes).
-        self.timer: Optional[ScheduledCall] = None
-        self.timer_due: Optional[Flow] = None
-        self.timer_at = 0.0
-        self.astate: Optional[AnalyticState] = None
+        # Timer regime, slot timer, service curve, deferred ledger.
+        self.region = EpochRegion(env, seq)
 
 
 @dataclass(slots=True)
@@ -357,6 +405,7 @@ class _MacroState:
         "pinned_refund",
         "published",
         "truncate_at",
+        "slot",
     )
 
     def __init__(
@@ -366,6 +415,11 @@ class _MacroState:
         pinned_refund,
     ) -> None:
         self.entries = entries
+        # The macro's one analytic-completion timer (armed at the final
+        # batch boundary, re-armed at the truncation boundary on pinned
+        # contention); owned by a TimerSlot so re-arming at the same
+        # boundary is elided like every other epoch provider.
+        self.slot: Optional[TimerSlot] = None
         # Virtual replica of the current per-batch flow's lazy-advance
         # state: batch index, its remaining bytes, last advance instant.
         self.index = 0
@@ -406,12 +460,11 @@ class FlowNetwork:
         policy: str = "maxmin",
         allocator: Optional[str] = None,
     ) -> None:
-        if allocator is None:
-            allocator = os.environ.get("REPRO_NET_ALLOCATOR", "incremental")
+        # Precedence: kwarg > REPRO_NET_ALLOCATOR > REPRO_NET_EPOCH
+        # flipping the default > "incremental" (repro.common.config).
+        allocator = net_allocator(allocator)
         if policy not in ("maxmin", "slo_gated"):
             raise SimulationError(f"unknown allocation policy {policy!r}")
-        if allocator not in ALLOCATORS:
-            raise SimulationError(f"unknown allocator {allocator!r}")
         self.env = env
         self.policy = policy
         self.allocator = allocator
@@ -421,12 +474,16 @@ class FlowNetwork:
         self._flows: dict[int, Flow] = {}
         # Persistent component registry + level cache apply to the
         # incremental family only.
-        self._use_components = allocator in ("incremental", "analytic")
+        self._use_components = allocator in ("incremental", "epoch", "analytic")
         # Live macro-flow count: lets start_flow skip the O(path)
         # macro-split sweep entirely in macro-free workloads.
         self._macro_live = 0
-        # Conceptual timer-arming sequence for the comp-timer regime.
-        self._arm_counter = 0
+        # Conceptual timer-arming sequence for the comp-timer regime,
+        # shared by every component's EpochRegion.
+        self._arm = ArmSequencer()
+        # Ledger in effect while an epoch reallocation runs: routes
+        # _bind_fast calls through the deferred-settle variant.
+        self._cur_ledger: Optional[EpochLedger] = None
         # Instrumentation (cheap, always on; exported by `repro bench`
         # and :meth:`export_metrics`).
         self.realloc_count = 0
@@ -440,6 +497,13 @@ class FlowNetwork:
         self.levels_spliced = 0
         self.levels_recomputed = 0
         self.analytic_events = 0
+        # Macro-flow coalescing effectiveness (PR 5 fast path).
+        self.macro_coalesced = 0
+        self.macro_splits = 0
+        # Epoch-engine effectiveness: boundaries recorded into ledgers
+        # (deferred Θ(members) advances) and full settle barriers.
+        self.epoch_boundaries = 0
+        self.epoch_settles = 0
 
     def export_metrics(self, registry) -> None:
         """Publish allocator counters into a telemetry MetricsRegistry.
@@ -456,6 +520,10 @@ class FlowNetwork:
             ("net.waterfill_levels_spliced", self.levels_spliced),
             ("net.waterfill_levels_recomputed", self.levels_recomputed),
             ("net.waterfill_analytic_events", self.analytic_events),
+            ("net.macro_coalesced", self.macro_coalesced),
+            ("net.macro_splits", self.macro_splits),
+            ("net.epoch_boundaries", self.epoch_boundaries),
+            ("net.epoch_settles", self.epoch_settles),
         ):
             counter = registry.counter(name)
             if value > counter.value:
@@ -501,6 +569,16 @@ class FlowNetwork:
         if self.allocator == "legacy":
             self._advance_all()
         else:
+            if state.comp is not None:
+                # A deferred-advance ledger holds this link's byte
+                # credits; settle it before the eager advance below so
+                # the accumulator replays in exact eager order.
+                self._epoch_barrier(state.comp)
+            if state.epoch_comp is not None:
+                # The link emptied and was pruned from a component
+                # whose ledger still defers credits for it.
+                self._epoch_barrier(state.epoch_comp)
+                state.epoch_comp = None
             now = self.env.now
             for flow in state.flows.values():
                 self._advance_flow(flow, now)
@@ -598,6 +676,8 @@ class FlowNetwork:
         if flow._macro is not None:
             macro = flow._macro
             self._advance_flow(flow, self.env.now)
+            if macro.slot is not None:
+                macro.slot.disarm()
             self._publish_virtual_batches(flow, macro, macro.index)
             if macro.pinned_refund is not None and macro.pinned_hold > 0:
                 macro.pinned_refund(macro.pinned_hold)
@@ -613,8 +693,13 @@ class FlowNetwork:
             flow.done.fail(SimulationError(f"flow {flow.flow_id} cancelled"))
             self._reallocate_legacy("cancel", flow.flow_id)
             return
-        self._advance_flow(flow, self.env.now)
         comp = flow._comp
+        if comp is not None:
+            # A cancel is a disturbance the ledger cannot express (the
+            # eager world advances the cancelled flow outside the
+            # uniform all-member cadence): settle everything first.
+            self._epoch_barrier(comp)
+        self._advance_flow(flow, self.env.now)
         if comp is not None and len(flow.path) == 1:
             # A one-link flow cannot split its component: the other
             # flows on that link stay connected through it.
@@ -738,8 +823,10 @@ class FlowNetwork:
         if not ok or len(entries) < 2:
             return None
         flow.remaining = float(size)
-        flow._macro = _MacroState(entries, pinned_hold, pinned_refund)
+        macro = _MacroState(entries, pinned_hold, pinned_refund)
+        flow._macro = macro
         self.flows_started += 1
+        self.macro_coalesced += 1
         self._flows[flow.flow_id] = flow
         for link in flow.path:
             self._links[link.link_id].flows[flow.flow_id] = flow
@@ -748,9 +835,8 @@ class FlowNetwork:
             comp = self._comp_attach(flow)
             comp.n_macro += 1
         end = entries[-1].f
-        flow._timer = self.env.schedule_at(
-            end, lambda f_=flow: self._on_macro_timer(f_)
-        )
+        macro.slot = TimerSlot(self.env)
+        macro.slot.arm(end, flow, lambda f_=flow: self._on_macro_timer(f_))
         flow._timer_at = end
         return flow
 
@@ -785,10 +871,10 @@ class FlowNetwork:
         first, keeping the event stream decomposed.
         """
         macro = flow._macro
+        self.macro_splits += 1
         self._advance_flow(flow, now)
-        if flow._timer is not None:
-            flow._timer.cancel()
-            flow._timer = None
+        if macro.slot is not None:
+            macro.slot.disarm()
         entry = macro.entries[macro.index]
         self._publish_virtual_batches(flow, macro, macro.index)
         bus = self.env.telemetry
@@ -883,6 +969,7 @@ class FlowNetwork:
         # would split one batch's byte credit into two float adds.
         self._advance_macro(flow, now, partial=False)
         entry = macro.entries[macro.index]
+        self.macro_splits += 1
         if now >= entry.s:
             macro.truncate_at = macro.index
             if macro.pinned_refund is not None:
@@ -891,10 +978,8 @@ class FlowNetwork:
                 if surplus > 0:
                     macro.pinned_refund(surplus)
                     macro.pinned_hold = target
-            if flow._timer is not None:
-                flow._timer.cancel()
-            flow._timer = self.env.schedule_at(
-                entry.f, lambda f_=flow: self._on_macro_timer(f_)
+            macro.slot.arm(
+                entry.f, flow, lambda f_=flow: self._on_macro_timer(f_)
             )
             flow._timer_at = entry.f
         else:
@@ -915,10 +1000,11 @@ class FlowNetwork:
 
     def _on_macro_timer(self, flow: Flow) -> None:
         """Analytic completion (or truncation boundary) of a macro."""
-        flow._timer = None
         if flow.done.triggered or flow.flow_id not in self._flows:
             return
         macro = flow._macro
+        if macro.slot is not None:
+            macro.slot.fired()
         now = self.env.now
         self._advance_flow(flow, now)
         if macro.truncate_at is not None:
@@ -1267,7 +1353,7 @@ class FlowNetwork:
             if c is not None and c not in comps:
                 comps.append(c)
         if not comps:
-            comp = _Component()
+            comp = _Component(self.env, self._arm)
         else:
             comp = comps[0]
             for c in comps[1:]:
@@ -1286,20 +1372,44 @@ class FlowNetwork:
             comp.n_unclean += 1
         for link in flow.path:
             st = self._links[link.link_id]
+            prev = st.epoch_comp
+            if prev is not None:
+                if prev is not comp:
+                    # Re-adoption by a *different* component: flush the
+                    # old generation's deferred byte credits first, so
+                    # this link's accumulator keeps eager add order.
+                    self._epoch_barrier(prev)
+                # Same component: its (still live) ledger keeps the
+                # deferred credits in order; st.comp covers queries.
+                st.epoch_comp = None
             st.comp = comp
             comp.links[link.link_id] = st
         return comp
 
     def _comp_absorb(self, target: "_Component", source: "_Component") -> None:
         """Merge *source* into *target* (arrival bridged them)."""
-        if target.mode == "analytic":
+        if target.region.mode == "analytic":
             self._materialize_analytic(target)
-        if source.mode == "analytic":
+        if source.region.mode == "analytic":
             self._materialize_analytic(source)
-        if source.timer is not None:
-            source.timer.cancel()
-            source.timer = None
-            source.timer_due = None
+        # Merges restore uniform eager state on both sides first: the
+        # merged fill advances every member at the merge instant, which
+        # the per-side ledgers cannot express.
+        self._epoch_barrier(target)
+        self._epoch_barrier(source)
+        # Classic mode's invariant is "armed member <=> real timer".
+        # When one side is classic the merged component runs classic,
+        # so the fast side's conceptual instants must become real
+        # timers *at their recorded values* — letting _enter_fast
+        # disarm them later would recompute now + rem/rate, which can
+        # land one ulp off the instant the eager regime carries.
+        if source.region.mode == "classic" and target.region.mode == "fast":
+            target.region.disarm()
+            self._materialize_timers(target)
+            target.region.mode = "classic"
+        elif target.region.mode == "classic" and source.region.mode == "fast":
+            self._materialize_timers(source)
+        source.region.disarm()
         for f in source.order:
             if f is None:
                 continue
@@ -1319,11 +1429,6 @@ class FlowNetwork:
         # Appended members break arrival order; re-sort on next use.
         target.order_dirty = True
         target.cache = None
-        if source.mode == "classic":
-            # Absorbed members still carry per-flow timers; route the
-            # merged component through the classic machinery (or let
-            # _enter_fast cancel them) rather than leaving them armed.
-            target.mode = "classic"
 
     def _comp_members(self, comp: "_Component") -> list[Flow]:
         """Live members in arrival order; compacts/re-sorts lazily."""
@@ -1348,8 +1453,8 @@ class FlowNetwork:
         self, component: list[Flow], links: dict[str, _LinkState]
     ) -> None:
         """Register a freshly BFS-derived component (post-split)."""
-        comp = _Component()
-        comp.mode = "classic"  # _recompute_component just armed timers
+        comp = _Component(self.env, self._arm)
+        comp.region.mode = "classic"  # _recompute_component just armed timers
         comp.order = list(component)
         comp.live = len(component)
         for i, f in enumerate(component):
@@ -1366,12 +1471,10 @@ class FlowNetwork:
 
     def _comp_dissolve(self, comp: "_Component") -> None:
         """Drop the registry entry; a scoped BFS will re-derive parts."""
-        if comp.mode == "analytic":
+        if comp.region.mode == "analytic":
             self._materialize_analytic(comp)
-        if comp.timer is not None:
-            comp.timer.cancel()
-            comp.timer = None
-        comp.timer_due = None
+        self._epoch_barrier(comp)
+        comp.region.disarm()
         # The parts re-derived by the BFS run classic; hand each member
         # its conceptual completion instant as a real timer so elision
         # keeps it rather than recomputing a possibly-1-ulp-off one.
@@ -1414,16 +1517,14 @@ class FlowNetwork:
         same instant, so the ensuing _recompute_component elides it
         exactly as a never-fast run would.
         """
-        if comp.mode == "classic":
+        if comp.region.mode == "classic":
             return
-        if comp.mode == "analytic":
+        if comp.region.mode == "analytic":
             self._materialize_analytic(comp)
-        if comp.timer is not None:
-            comp.timer.cancel()
-            comp.timer = None
-        comp.timer_due = None
+        self._epoch_barrier(comp)
+        comp.region.disarm()
         self._materialize_timers(comp)
-        comp.mode = "classic"
+        comp.region.mode = "classic"
         comp.cache = None
 
     def _enter_fast(self, comp: "_Component") -> None:
@@ -1433,10 +1534,10 @@ class FlowNetwork:
         pair — the instant is kept bit-for-bit, the seq is re-based in
         member order — and the handle is cancelled.
         """
-        if comp.mode == "analytic":
+        if comp.region.mode == "analytic":
             self._materialize_analytic(comp)
             return
-        if comp.mode != "classic":
+        if comp.region.mode != "classic":
             return
         for f in comp.order:
             if f is None:
@@ -1447,14 +1548,15 @@ class FlowNetwork:
                 f._timer_seq = self._arm_seq()
             else:
                 f._timer_seq = -1
-        comp.mode = "fast"
+        comp.region.mode = "fast"
 
     def _materialize_analytic(self, comp: "_Component") -> None:
         """Settle every member's eager slots out of the service curve."""
-        st = comp.astate
+        region = comp.region
+        st = region.astate
         if st is None:
-            if comp.mode == "analytic":
-                comp.mode = "fast"
+            if region.mode == "analytic":
+                region.mode = "fast"
             return
         now = self.env.now
         st.advance(now)
@@ -1468,12 +1570,9 @@ class FlowNetwork:
             f._last_update = now
             f._astate = None
             f._timer_seq = -1
-        if comp.timer is not None:
-            comp.timer.cancel()
-            comp.timer = None
-        comp.timer_due = None
-        comp.astate = None
-        comp.mode = "fast"
+        region.disarm()
+        region.astate = None
+        region.mode = "fast"
         comp.cache = None
 
     # -- component-scoped dispatch -----------------------------------------
@@ -1497,6 +1596,8 @@ class FlowNetwork:
         if clean:
             if self.allocator == "analytic" and len(comp.links) == 1:
                 self._analytic_realloc(comp, changed, arrival)
+            elif self.allocator == "epoch":
+                self._epoch_realloc(comp, changed, arrival)
             else:
                 self._fast_realloc(comp, changed, arrival)
             return
@@ -1508,15 +1609,14 @@ class FlowNetwork:
             )
 
     def _arm_seq(self) -> int:
-        self._arm_counter += 1
-        return self._arm_counter
+        return self._arm.next()
 
     # -- fast regime: cached bottleneck levels, one component timer --------
     def _fast_realloc(
         self, comp: "_Component", changed: Flow, arrival: bool
     ) -> None:
         now = self.env.now
-        if comp.mode != "fast":
+        if comp.region.mode != "fast":
             self._enter_fast(comp)
         members = self._comp_members(comp)
         self.realloc_count += 1
@@ -1650,13 +1750,17 @@ class FlowNetwork:
             if not frozen:
                 # Terminal: loop exits with flows still unfrozen (no
                 # link crossed the epsilon).  Never spliced over.
-                levels.append(Level(idx, delta, cum, entry, terminal=True))
+                level = Level(idx, delta, cum, entry, terminal=True)
+                level.members = list(unfrozen)
+                levels.append(level)
                 for f in unfrozen:
                     f._level_idx = idx
                     self._bind_fast(f, cum, now)
                 self.levels_recomputed += 1
                 return levels
-            levels.append(Level(idx, delta, cum, entry))
+            level = Level(idx, delta, cum, entry)
+            level.members = frozen
+            levels.append(level)
             self.levels_recomputed += 1
             for f in frozen:
                 f._level_idx = idx
@@ -1673,6 +1777,10 @@ class FlowNetwork:
         conceptual (instant, seq) ordering matches what the per-flow
         heap would contain bit-for-bit.
         """
+        ledger = self._cur_ledger
+        if ledger is not None:
+            self._bind_epoch(flow, new_rate, now, ledger)
+            return
         armed = flow._timer_seq != -1
         rem = flow._remaining
         if (
@@ -1717,36 +1825,24 @@ class FlowNetwork:
                 best._timer_seq,
             ):
                 best = f
+        slot = comp.region.slot
         if best is None:
-            if comp.timer is not None:
-                comp.timer.cancel()
-                comp.timer = None
-            comp.timer_due = None
+            slot.disarm()
             return
-        if (
-            comp.timer is not None
-            and comp.timer_due is best
-            and comp.timer_at == best._timer_at
-        ):
-            return
-        if comp.timer is not None:
-            comp.timer.cancel()
-        comp.timer = self.env.schedule_at(
-            best._timer_at, lambda c=comp: self._on_comp_timer(c)
+        slot.arm(
+            best._timer_at, best, lambda c=comp: self._on_comp_timer(c)
         )
-        comp.timer_due = best
-        comp.timer_at = best._timer_at
 
     def _on_comp_timer(self, comp: "_Component") -> None:
-        comp.timer = None
-        flow = comp.timer_due
-        comp.timer_due = None
+        slot = comp.region.slot
+        armed_at = slot.at
+        flow = slot.fired()
         if (
-            comp.mode != "fast"
+            comp.region.mode != "fast"
             or flow is None
             or flow._comp is not comp
             or flow._timer_seq == -1
-            or flow._timer_at != comp.timer_at
+            or flow._timer_at != armed_at
         ):
             return  # stale arming; a newer state superseded it
         now = self.env.now
@@ -1795,6 +1891,371 @@ class FlowNetwork:
                 owner=flow.owner,
             ))
 
+    # -- epoch regime: deferred advances, heap completions, no-dissolve ----
+    def _epoch_realloc(
+        self, comp: "_Component", changed: Flow, arrival: bool
+    ) -> None:
+        """Clean-component reallocation with deferred member advances.
+
+        Identical rate computation to :meth:`_fast_realloc` (same
+        splice scan, same fill, same elision predicates), but instead
+        of advancing every member's ``remaining`` at every event
+        (Θ(members), the eager fast regime's per-event cost), the event
+        becomes one recorded ledger boundary.  A member's subtraction
+        chain is replayed — same floats, same order — only when it is
+        actually observed: at its own completion, a rate change, or a
+        barrier.  Per-event cost drops to O(changed members + log n).
+        """
+        now = self.env.now
+        region = comp.region
+        if region.mode != "fast":
+            self._enter_fast(comp)
+        self.realloc_count += 1
+        self.realloc_flows += comp.live
+        ledger = region.ledger
+        if ledger is not None and ledger.epochs >= _LEDGER_MAX_EPOCHS:
+            # Bound replay-chain length (float-error budget of the
+            # elision guard) and ledger memory.
+            self._epoch_barrier(comp)
+            ledger = None
+        if ledger is not None:
+            if ledger.bounds[-1] != now:
+                # Same-instant events collapse into one epoch: the
+                # eager advance at the second event has elapsed == 0
+                # and is a no-op for both chains and byte credits.
+                self.epoch_boundaries += 1
+                ledger.boundary(now, None)
+            if changed._eled is None and changed.flow_id in self._flows:
+                # Arrival: the new member's chain starts at this epoch
+                # (its initial rate is set by the fill below).
+                ledger.join(changed, ledger.epochs, changed._rate)
+            cache = comp.cache
+            scan = (
+                splice_scan(changed, cache, self._links, arrival)
+                if cache is not None else None
+            )
+            self._cur_ledger = ledger
+            try:
+                if scan is not None and scan.j_star is not None:
+                    # Bucket splice: only tail-level members are
+                    # visited, so the whole event costs O(tail) —
+                    # independent of component size.  Spliced members'
+                    # rates are provably unchanged; their eager elision
+                    # decisions are no-ops skipped wholesale.
+                    levels = self._epoch_splice_fill(
+                        comp, cache, scan, changed, arrival, now
+                    )
+                    self.cache_hits += 1
+                else:
+                    members = self._comp_members(comp)
+                    self.cache_rebuilds += 1
+                    for f in members:
+                        f._level_idx = None
+                    residual = {
+                        lid: st.link.capacity
+                        for lid, st in comp.links.items()
+                    }
+                    levels = self._clean_fill(members, residual, 0, 0.0, now)
+            finally:
+                self._cur_ledger = None
+            comp.cache = levels
+            self._arm_epoch_timer(comp)
+            return
+        # (Re)enter the deferred regime: one eager catch-up, then
+        # boundaries replace the per-member advances.
+        members = self._comp_members(comp)
+        for f in members:
+            self._advance_flow(f, now)
+        ledger = region.start_ledger(now, self._epoch_credit)
+        for f in members:
+            ledger.join(f, 0, f._rate)
+            if f._timer_seq != -1:
+                region.push_completion(f)
+        levels = None
+        self._cur_ledger = ledger
+        try:
+            cache = comp.cache
+            if cache is not None:
+                scan = splice_scan(changed, cache, self._links, arrival)
+                if scan.j_star is not None:
+                    levels = self._splice_fill(cache, scan, members, now)
+                    self.cache_hits += 1
+            if levels is None:
+                self.cache_rebuilds += 1
+                for f in members:
+                    f._level_idx = None
+                residual = {
+                    lid: st.link.capacity for lid, st in comp.links.items()
+                }
+                levels = self._clean_fill(members, residual, 0, 0.0, now)
+        finally:
+            self._cur_ledger = None
+        comp.cache = levels
+        self._arm_epoch_timer(comp)
+
+    def _epoch_splice_fill(
+        self,
+        comp: "_Component",
+        cache: list,
+        scan,
+        changed: Flow,
+        arrival: bool,
+        now: float,
+    ) -> list:
+        """Splice via per-level member buckets; only the tail is visited.
+
+        The eager :meth:`_splice_fill` partitions the full member list
+        to find the flows at levels ``>= j*`` — Θ(members) even when
+        the tail is one flow.  Here the reused levels' buckets are
+        simply kept (their members' rates are provably unchanged, so
+        the eager bind would elide with no state change) and the tail
+        flows come from the tail levels' buckets, filtered for
+        staleness and re-sorted into arrival order so the recomputed
+        fill runs the same float chains on the same sequence the eager
+        partition would have produced.
+        """
+        j = scan.j_star
+        self.levels_spliced += j
+        for i, patch in enumerate(scan.history):
+            entry = cache[i].entry_residual
+            for lid, val in patch.items():
+                entry[lid] = val
+        if j < len(cache):
+            residual = dict(cache[j].entry_residual)
+        else:
+            residual = {}
+        residual.update(scan.flink_residuals)
+        cum0 = cache[j - 1].cum if j > 0 else 0.0
+        unfrozen: list[Flow] = []
+        for level in cache[j:]:
+            idx = level.index
+            for f in level.members:
+                # Stale bucket entries: departed (comp cleared) or
+                # re-frozen at another level since recording.
+                if f._comp is comp and f._level_idx == idx:
+                    f._level_idx = None
+                    unfrozen.append(f)
+        if arrival and changed._level_idx is None and changed._comp is comp:
+            unfrozen.append(changed)
+        unfrozen.sort(key=_flow_order)
+        # The skipped spliced members' eager binds are all elisions.
+        self.timer_elisions += max(0, comp.live - len(unfrozen))
+        tail = self._clean_fill(unfrozen, residual, j, cum0, now)
+        return cache[:j] + tail
+
+    def _bind_epoch(
+        self, flow: Flow, new_rate: float, now: float, ledger: EpochLedger
+    ) -> None:
+        """Epoch-regime twin of :meth:`_bind_fast`.
+
+        The elision decisions must match the eager regime bit-for-bit,
+        but settling a member just to decide "unchanged, keep timer"
+        would reintroduce the Θ(members) cost.  Two guards elide
+        *without* settling, each with a proof the eager predicate would
+        agree:
+
+        * armed, rate unchanged, and ``rate * (timer_at - now)`` is
+          more than one byte — the settled remaining equals that
+          analytic value up to chain rounding (≤ epochs × size-ulp,
+          orders of magnitude under a byte), so the eager
+          ``remaining > _EPS`` check cannot disagree;
+        * starved (rate 0): zero-rate epochs leave the chain untouched
+          (``elapsed > 0 and rate > 0`` guards every term), so the
+          stale remaining *is* the exact eager value.
+
+        Anything else settles the member's chain first and then applies
+        the verbatim predicates on exact state.
+        """
+        armed = flow._timer_seq != -1
+        if new_rate == flow._rate:
+            if armed and new_rate * (flow._timer_at - now) > 1.0:
+                self.timer_elisions += 1
+                return
+            if not armed and new_rate <= _EPS and flow._remaining > _EPS:
+                self.timer_elisions += 1
+                return
+        ledger.settle_member(flow)
+        rem = flow._remaining
+        if (
+            new_rate == flow._rate
+            and rem > _EPS
+            and (armed or new_rate <= _EPS)
+        ):
+            self.timer_elisions += 1
+            return
+        if (
+            armed
+            and rem > _EPS
+            and new_rate > _EPS
+            and now + rem / new_rate == flow._timer_at
+        ):
+            flow._rate = new_rate
+            ledger.set_rate(flow, ledger.epochs, new_rate)
+            self.timer_elisions += 1
+            return
+        flow._rate = new_rate
+        ledger.set_rate(flow, ledger.epochs, new_rate)
+        self.timer_reschedules += 1
+        if rem <= _EPS:
+            flow._timer_at = now
+            flow._timer_seq = self._arm_seq()
+            flow._comp.region.push_completion(flow)
+            return
+        if new_rate <= _EPS:
+            flow._timer_seq = -1  # starved
+            return
+        flow._timer_at = now + rem / new_rate
+        flow._timer_seq = self._arm_seq()
+        flow._comp.region.push_completion(flow)
+
+    def _arm_epoch_timer(self, comp: "_Component") -> None:
+        """Arm the slot at the completion heap's live head (O(log n))."""
+        region = comp.region
+        entry = region.pop_earliest(
+            lambda f: f._comp is comp and not f.done.triggered
+        )
+        if entry is None:
+            region.slot.disarm()
+            return
+        at, _seq, flow = entry
+        region.slot.arm(at, flow, lambda c=comp: self._on_epoch_timer(c))
+
+    def _on_epoch_timer(self, comp: "_Component") -> None:
+        region = comp.region
+        slot = region.slot
+        armed_at = slot.at
+        flow = slot.fired()
+        if (
+            region.mode != "fast"
+            or flow is None
+            or flow._comp is not comp
+            or flow._timer_seq == -1
+            or flow._timer_at != armed_at
+            or flow.done.triggered
+        ):
+            return  # stale arming; a newer state superseded it
+        now = self.env.now
+        ledger = region.ledger
+        if ledger is not None:
+            # Settle the due member's chain through the last boundary,
+            # then apply the final [boundary, now] step without
+            # committing — the drift guard below may reject it.
+            ledger.settle_member(flow)
+            rem = flow._remaining
+            rate = flow._rate
+            elapsed = now - ledger.bounds[-1]
+            if elapsed > 0 and rate > 0:
+                rem = rem - min(rem, rate * elapsed)
+        else:
+            # Post-barrier firing: the conceptual instant survived a
+            # settle; eager state is current.
+            self._advance_flow(flow, now)
+            rem = flow._remaining
+        # Same float-drift guard as _on_timer / _on_comp_timer.
+        threshold = max(1e-6, flow.size * 1e-12)
+        if rem > threshold:
+            # Rare drift re-arm: the eager world advances only this
+            # member here (outside the uniform cadence), so restore
+            # full eager state first.
+            self._epoch_barrier(comp)
+            self._advance_flow(flow, now)
+            rate = flow._rate
+            eta = flow._remaining / rate if rate > _EPS else float("inf")
+            if eta != float("inf") and now + eta > now:
+                flow._timer_at = now + eta
+                flow._timer_seq = self._arm_seq()
+                self._arm_comp_timer(comp, self._comp_members(comp))
+                return
+            if eta == float("inf"):
+                flow._timer_seq = -1  # starved
+                self._arm_comp_timer(comp, self._comp_members(comp))
+                return
+            # Finite eta that cannot advance the clock: the eager
+            # handlers fall through to completion here, so we must
+            # too — stranding the flow as "starved" would leave it
+            # unarmed forever at a positive rate.  The barrier above
+            # already dropped the ledger; don't replay it below.
+            ledger = None
+            rem = flow._remaining
+        if ledger is not None:
+            # Commit the completion boundary; the due member advances
+            # first at it, exactly like the eager completion handler.
+            self.epoch_boundaries += 1
+            e_new = ledger.boundary(now, flow)
+            flow._remaining = rem
+            flow._eidx = e_new
+            ledger.depart(flow, e_new)
+            flow._last_update = now
+        # Multi-link no-dissolve check: if at most one of the departed
+        # flow's links still carries other flows, every neighbour stays
+        # connected through that link and the component cannot split —
+        # the dissolve + BFS re-derivation (the eager regime's
+        # Θ(component) departure cost) is provably unnecessary.
+        links_with_others = 0
+        for link in flow.path:
+            st = self._links[link.link_id]
+            n = len(st.flows)
+            if flow.flow_id in st.flows:
+                n -= 1
+            if n:
+                links_with_others += 1
+        if links_with_others <= 1:
+            flow._remaining = 0.0
+            self._detach(flow)
+            flow.done.succeed(self._stats(flow))
+            if comp.live:
+                self._comp_realloc(comp, "finish", flow, arrival=False)
+        else:
+            neighbors = self._neighbors(flow)
+            flow._timer_seq = -1  # finishing here; no timer to carry over
+            self._comp_dissolve(comp)  # barriers the ledger internally
+            flow._remaining = 0.0
+            self._detach(flow)
+            flow.done.succeed(self._stats(flow))
+            self._reallocate_scoped(neighbors, "finish", flow.flow_id)
+        bus = self.env.telemetry
+        if bus is not None:
+            # Bus attached mid-run: emit the finish even though the
+            # epoch regime published no rate epochs for this flow.
+            bus.publish(FlowFinished(
+                t=self.env.now,
+                flow_id=flow.flow_id,
+                tag=flow.tag,
+                size=flow.size,
+                links=tuple(link.link_id for link in flow.path),
+                src=flow.path[0].src,
+                dst=flow.path[-1].dst,
+                started_at=flow.started_at,
+                owner=flow.owner,
+            ))
+
+    def _epoch_barrier(self, comp: "_Component") -> None:
+        """Materialize full eager state out of the deferred ledger.
+
+        Settles every member's subtraction chain, replays the shared
+        per-link byte accumulators in exact eager order, and drops the
+        ledger.  No-op when the component has none.  The slot timer and
+        conceptual (instant, seq) armings survive — they are
+        eager-exact by construction.
+        """
+        region = comp.region
+        ledger = region.ledger
+        if ledger is None:
+            return
+        self.epoch_settles += 1
+        last = ledger.bounds[-1]
+        for m in ledger.members:
+            if m._eled is ledger:
+                ledger.settle_member(m)
+                m._last_update = last
+        ledger.replay_bytes()
+        region.drop_ledger()
+
+    def _epoch_credit(self, flow: Flow, moved: float) -> None:
+        """Byte-credit callback for ledger replay (eager add order)."""
+        for link in flow.path:
+            self._links[link.link_id].bytes_carried += moved
+
     # -- analytic regime: shared service curve, heap completions ----------
     def _analytic_realloc(
         self, comp: "_Component", changed: Flow, arrival: bool
@@ -1803,10 +2264,10 @@ class FlowNetwork:
         self.realloc_count += 1
         self.realloc_flows += comp.live
         self.analytic_events += 1
-        st = comp.astate
-        if comp.mode != "analytic" or st is None:
+        st = comp.region.astate
+        if comp.region.mode != "analytic" or st is None:
             self._enter_analytic(comp)
-            self._arm_analytic_timer(comp, comp.astate)
+            self._arm_analytic_timer(comp, comp.region.astate)
             return
         st.advance(now)
         if arrival:
@@ -1821,15 +2282,12 @@ class FlowNetwork:
     def _enter_analytic(self, comp: "_Component") -> None:
         """Move a clean single-link component onto the service curve."""
         now = self.env.now
-        if comp.mode == "classic":
+        if comp.region.mode == "classic":
             self._enter_fast(comp)
         members = self._comp_members(comp)
         for f in members:
             self._advance_flow(f, now)
-        if comp.timer is not None:
-            comp.timer.cancel()
-            comp.timer = None
-        comp.timer_due = None
+        comp.region.disarm()
         (link_state,) = comp.links.values()
         st = AnalyticState(self.env, link_state)
         st.last_t = now
@@ -1837,43 +2295,27 @@ class FlowNetwork:
             f._timer_seq = -1
             st.join(f, f._remaining)
         st.recompute_rate()
-        comp.astate = st
-        comp.mode = "analytic"
+        comp.region.astate = st
+        comp.region.mode = "analytic"
         comp.cache = None
 
     def _arm_analytic_timer(self, comp: "_Component", st) -> None:
         entry = st.front() if st is not None else None
+        slot = comp.region.slot
         if entry is None or st.rate <= 0.0:
-            if comp.timer is not None:
-                comp.timer.cancel()
-                comp.timer = None
-            comp.timer_due = None
+            slot.disarm()
             return
         t_done = st.last_t + (entry[0] - st.v) / st.rate
         now = self.env.now
         if t_done < now:
             t_done = now  # service-curve division rounded below now
         flow = entry[3]
-        if (
-            comp.timer is not None
-            and comp.timer_due is flow
-            and comp.timer_at == t_done
-        ):
-            return
-        if comp.timer is not None:
-            comp.timer.cancel()
-        comp.timer = self.env.schedule_at(
-            t_done, lambda c=comp: self._on_analytic_timer(c)
-        )
-        comp.timer_due = flow
-        comp.timer_at = t_done
+        slot.arm(t_done, flow, lambda c=comp: self._on_analytic_timer(c))
 
     def _on_analytic_timer(self, comp: "_Component") -> None:
-        comp.timer = None
-        due = comp.timer_due
-        comp.timer_due = None
-        st = comp.astate
-        if comp.mode != "analytic" or st is None:
+        due = comp.region.slot.fired()
+        st = comp.region.astate
+        if comp.region.mode != "analytic" or st is None:
             return
         now = self.env.now
         st.advance(now)
@@ -1934,19 +2376,31 @@ class FlowNetwork:
         # realloc runs the splice scan against it (and every detach is
         # followed by a realloc or a dissolve).
         if comp.live <= 0:
-            if comp.timer is not None:
-                comp.timer.cancel()
-                comp.timer = None
+            # Flush any deferred byte credits (the departed members'
+            # ledger chains) before the registry entry is dropped.
+            self._epoch_barrier(comp)
+            comp.region.disarm()
             for st in comp.links.values():
                 if st.comp is comp:
                     st.comp = None
             comp.links.clear()
             comp.order.clear()
-            comp.astate = None
+            comp.region.astate = None
             return
         for link in flow.path:
             st = self._links.get(link.link_id)
             if st is not None and st.comp is comp and not st.flows:
+                if comp.region.ledger is not None:
+                    # The ledger still defers this link's byte credits;
+                    # leave a pointer so a later bytes_carried query can
+                    # flush them.  At most one such component per link:
+                    # flush any previous one now (rare — the link must
+                    # empty under two distinct ledgered components with
+                    # no query in between).
+                    prev = st.epoch_comp
+                    if prev is not None and prev is not comp:
+                        self._epoch_barrier(prev)
+                    st.epoch_comp = comp
                 st.comp = None
                 comp.links.pop(link.link_id, None)
         if len(comp.order) > 64 and len(comp.order) > 2 * comp.live:

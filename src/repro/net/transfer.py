@@ -31,10 +31,10 @@ globally with the ``REPRO_NET_TRANSFER`` environment variable.
 from __future__ import annotations
 
 import itertools
-import os
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.common.config import NET_TRANSFER_MODES, net_transfer_mode
 from repro.common.errors import SimulationError
 from repro.common.units import MB, US
 from repro.net.links import Link
@@ -49,7 +49,9 @@ DEFAULT_BATCH_CHUNKS = 5
 # launch plus synchronization is on the order of tens of microseconds.
 DEFAULT_BATCH_SETUP = 20 * US
 
-TRANSFER_MODES = ("coalesced", "per_batch")
+# Canonical mode list lives in repro.common.config; re-exported here
+# for the existing import sites.
+TRANSFER_MODES = NET_TRANSFER_MODES
 
 
 @dataclass(frozen=True)
@@ -179,10 +181,9 @@ class TransferEngine:
     ) -> None:
         if chunk_size <= 0 or batch_chunks < 1 or batch_setup < 0:
             raise SimulationError("invalid transfer engine parameters")
-        if mode is None:
-            mode = os.environ.get("REPRO_NET_TRANSFER", "coalesced")
-        if mode not in TRANSFER_MODES:
-            raise SimulationError(f"unknown transfer mode {mode!r}")
+        # kwarg > REPRO_NET_TRANSFER > "coalesced"; raises ConfigError
+        # (a SimulationError) on anything outside TRANSFER_MODES.
+        mode = net_transfer_mode(mode)
         self.env = env
         self.network = network
         self.chunk_size = chunk_size

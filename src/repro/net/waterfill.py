@@ -43,6 +43,7 @@ differential suite against the ``fullscan`` oracle.
 from __future__ import annotations
 
 import heapq
+from typing import Sequence
 
 _EPS = 1e-9
 
@@ -67,9 +68,18 @@ class Level:
         (no link crossed the saturation epsilon — a float-edge case).
         Terminal levels are never spliced over; any event touching one
         forces recomputation from it.
+    ``members``
+        The flows frozen at this level when it was recorded (the
+        terminal level records the still-unfrozen flows).  Entries go
+        stale when a flow departs or re-freezes elsewhere; consumers
+        filter on ``f._comp is comp and f._level_idx == level.index``.
+        The epoch allocator's splice walks only the tail levels'
+        buckets instead of partitioning the whole member list, which is
+        what makes its per-event cost independent of component size.
     """
 
-    __slots__ = ("index", "delta", "cum", "entry_residual", "terminal")
+    __slots__ = ("index", "delta", "cum", "entry_residual", "terminal",
+                 "members")
 
     def __init__(self, index: int, delta: float, cum: float,
                  entry_residual: dict, terminal: bool = False) -> None:
@@ -78,6 +88,7 @@ class Level:
         self.cum = cum
         self.entry_residual = entry_residual
         self.terminal = terminal
+        self.members: Sequence = ()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Level {self.index} delta={self.delta:.3e} "
@@ -233,6 +244,33 @@ def splice_scan(flow, levels: list, link_states: dict,
     if resume is None:
         resume = {lid: cell[1] for lid, cell in flink.items()}
     return SpliceScan(j_star, resume, history)
+
+
+def epoch_horizon(members, now: float):
+    """Earliest analytic completion instant over *members*, or ``None``.
+
+    The epoch engine's whole contract in one expression: between
+    disturbances every member's rate is constant, so the next
+    observable event is ``min(now + remaining / rate)`` over members
+    with positive rate — the instant the region's single timer targets.
+
+    Diagnostic only.  The live engine never re-derives an armed
+    instant this way: it carries each member's recorded ``_timer_at``
+    bit-for-bit (``now + remaining / rate`` can land one ulp away from
+    the instant the eager chains produced — see
+    :meth:`repro.sim.epoch.EpochLedger.settle_member`).  Tests use
+    this to bound the armed slot from above without assuming float
+    equality.
+    """
+    best = None
+    for f in members:
+        rate = f._rate
+        if rate <= _EPS or f.done.triggered:
+            continue
+        at = now + f._remaining / rate
+        if best is None or at < best:
+            best = at
+    return best
 
 
 class AnalyticState:

@@ -45,12 +45,16 @@ class ScheduledCall:
     do not accumulate unbounded cancelled-timer garbage.
     """
 
-    __slots__ = ("_env", "call", "cancelled")
+    __slots__ = ("_env", "call", "cancelled", "when")
 
     def __init__(self, env: "Environment", call: Callable[[], None]) -> None:
         self._env = env
         self.call: Optional[Callable[[], None]] = call
         self.cancelled = False
+        # Absolute fire instant, stamped by schedule()/schedule_at().
+        # Region-aware timer consumers (repro.sim.epoch.TimerSlot) read
+        # this to elide re-arms without parallel bookkeeping.
+        self.when = 0.0
 
     def cancel(self) -> None:
         """Prevent the call from running (idempotent)."""
@@ -399,7 +403,8 @@ class Environment:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         handle = ScheduledCall(self, call)
-        heapq.heappush(self._queue, (self._now + delay, self._seq, handle))
+        handle.when = self._now + delay
+        heapq.heappush(self._queue, (handle.when, self._seq, handle))
         self._seq += 1
         return handle
 
@@ -413,6 +418,7 @@ class Environment:
         if time < self._now:
             raise SimulationError(f"time {time} is in the past (now={self._now})")
         handle = ScheduledCall(self, call)
+        handle.when = time
         heapq.heappush(self._queue, (time, self._seq, handle))
         self._seq += 1
         return handle

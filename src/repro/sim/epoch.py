@@ -1,0 +1,355 @@
+"""Piecewise-constant epoch regions: one timer, lazy state, exact splits.
+
+Three fast paths in the network layer exploit the same observation: a
+set of flows whose rates are *piecewise constant* between disturbances
+needs no DES events inside an epoch — the next observable instant (the
+earliest analytic completion) can be computed in closed form, one timer
+armed for it, and everything else deferred.  Macro-flows (whole
+chunk-batch loops), the clean-component "fast" timer regime, and the
+opt-in analytic service curve each grew a private copy of the
+machinery: single-timer management with reschedule elision, conceptual
+``(instant, seq)`` arming that mirrors the per-flow timer heap, and a
+split-on-disturbance contract that materializes eager state bit-exactly
+when the quiescence assumption breaks.
+
+This module is that machinery, extracted once:
+
+``TimerSlot``
+    Exactly-one-armed-timer management over
+    :meth:`~repro.sim.core.Environment.schedule_at`.  Re-arming at the
+    same ``(due, at)`` pair is elided (no cancel, no heap push), which
+    is the invariant all three providers relied on separately.
+
+``ArmSequencer``
+    Monotonic conceptual arming sequence.  A region member's armed
+    completion is a ``(instant, seq)`` pair; ties on equal instants
+    resolve by arming order, exactly as the real per-flow timer heap
+    breaks same-time ties by scheduling sequence.
+
+``EpochLedger``
+    Deferred-advance bookkeeping for a quiescent region.  The eager
+    regime advances *every* member at *every* epoch boundary (one
+    ``rem -= min(rem, rate * dt)`` per member per epoch — a chain whose
+    float results are observables).  The ledger records the boundaries
+    and each member's per-epoch rate instead, so a member's chain is
+    replayed — identical floats, identical order — only when *it* is
+    observed: at its own completion, at a disturbance, or at a shared
+    byte-counter barrier.  Total work is unchanged; per-*event* work
+    collapses from Θ(members) to O(changed members).
+
+``EpochRegion``
+    The composition: a mode tag (``classic`` / ``fast`` / ``analytic``),
+    the slot, the sequencer hook, the optional ledger, the optional
+    analytic service-curve state, and a lazy-deleted completion heap
+    for O(log n) earliest-completion maintenance.
+
+The contract every provider implements on top of a region:
+
+1. **Quiescence detection** — the provider decides when its members'
+   rates are constant (macro eligibility, the clean-component
+   predicate) and enters the region's fast mode.
+2. **One timer** — the earliest analytic completion is armed through
+   the slot; everything between now and it is skipped.
+3. **Split on disturbance** — any event that breaks the
+   piecewise-constant assumption (a new flow, a reservation, an SLO
+   grant, a telemetry subscription, a merge) first *materializes*
+   eager state bit-exactly: ledger chains are settled, conceptual
+   instants become real timers at their recorded values (never
+   re-derived — ``now + remaining/rate`` can land one ulp away), and
+   only then does the eager machinery resume.
+
+The degradation ladder — analytic → fast+ledger → fast → classic —
+always steps toward strictly more eager state; every step is exact, so
+fast modes are pure optimisations with a correctness argument, enforced
+by the differential suites in ``tests/property/``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+__all__ = ["ArmSequencer", "TimerSlot", "EpochLedger", "EpochRegion"]
+
+
+class ArmSequencer:
+    """Monotonic conceptual timer-arming sequence shared by regions.
+
+    ``-1`` is the conventional "not armed" sentinel on members; every
+    arm draws the next positive integer, so ``(instant, seq)`` ordering
+    reproduces the real heap's same-time tie-break.
+    """
+
+    __slots__ = ("_counter",)
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def next(self) -> int:
+        self._counter += 1
+        return self._counter
+
+
+class TimerSlot:
+    """Exactly one armed timer, with same-``(due, at)`` rearm elision.
+
+    The slot owns at most one live
+    :class:`~repro.sim.core.ScheduledCall`.  ``arm`` cancels and
+    replaces it unless the requested ``(due, at)`` pair matches what is
+    already armed — the elision all three epoch providers depend on to
+    avoid heap churn when a recomputation lands on the same instant.
+    """
+
+    __slots__ = ("env", "handle", "due", "at")
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self.handle = None
+        self.due: Any = None
+        self.at = 0.0
+
+    @property
+    def armed(self) -> bool:
+        return self.handle is not None
+
+    def arm(self, at: float, due: Any, callback: Callable[[], None]) -> bool:
+        """Arm at absolute instant *at* for *due*; returns False when
+        the identical arming was already in place (elided)."""
+        if self.handle is not None and self.due is due and self.at == at:
+            return False
+        if self.handle is not None:
+            self.handle.cancel()
+        self.handle = self.env.schedule_at(at, callback)
+        self.due = due
+        self.at = at
+        return True
+
+    def disarm(self) -> None:
+        if self.handle is not None:
+            self.handle.cancel()
+            self.handle = None
+        self.due = None
+
+    def fired(self) -> Any:
+        """Consume a firing: clears the handle, returns the due payload."""
+        self.handle = None
+        due = self.due
+        self.due = None
+        return due
+
+
+class EpochLedger:
+    """Deferred member advances over recorded epoch boundaries.
+
+    Members are duck-typed flow objects carrying the epoch slots
+    ``_eh`` (rate history, ``[(epoch_index, rate), ...]``), ``_eidx``
+    (epochs settled so far), ``_ejoin`` / ``_edept`` (alive range),
+    ``_erem0`` (remaining at join, the replay seed) and ``_remaining``.
+
+    The eager fast regime executes, at each boundary, one
+
+        ``moved = min(rem, rate * elapsed); rem -= moved``
+
+    per member (plus a ``bytes_carried += moved`` per path link).  The
+    ledger records ``(boundary_time, due_member)`` pairs instead and
+    replays a member's subtraction chain lazily via
+    :meth:`settle_member` — same floats, same order, because each
+    member's chain only reads its own state.  The shared per-link byte
+    accumulators *are* order-sensitive across members, so they are only
+    settled at a full :meth:`barrier`, which replays epoch-major in the
+    eager order: the boundary's due member first (the completing flow
+    advances before the component recomputes), then the surviving
+    members in arrival order.
+    """
+
+    __slots__ = ("bounds", "members", "dues", "credit_bytes")
+
+    def __init__(self, now: float) -> None:
+        # bounds[e] .. bounds[e+1] is epoch e; a boundary is appended
+        # on every region event after the advances it implies.
+        self.bounds: List[float] = [now]
+        # Arrival-ordered member list, departed members included (their
+        # byte contributions replay at the barrier).
+        self.members: list = []
+        # dues[e] is the member whose completion created boundary e+1
+        # (None for arrivals/cancels): it advances first in the replay.
+        self.dues: List[Optional[Any]] = []
+        # Callback applying a settled byte credit: (member, moved).
+        self.credit_bytes: Optional[Callable[[Any, float], None]] = None
+
+    @property
+    def epochs(self) -> int:
+        return len(self.bounds) - 1
+
+    def join(self, member, epoch: int, rate: float) -> None:
+        """Register *member* from *epoch* onward at *rate*."""
+        member._eled = self
+        member._ejoin = epoch
+        member._edept = 1 << 30
+        member._erem0 = member._remaining
+        member._eidx = epoch
+        member._eh = [(epoch, rate)]
+        self.members.append(member)
+
+    def set_rate(self, member, epoch: int, rate: float) -> None:
+        """Record a rate change effective from *epoch* onward."""
+        hist = member._eh
+        if hist and hist[-1][0] == epoch:
+            hist[-1] = (epoch, rate)
+        else:
+            hist.append((epoch, rate))
+
+    def boundary(self, now: float, due=None) -> int:
+        """Close the current epoch at *now*; returns the new epoch index."""
+        self.dues.append(due)
+        self.bounds.append(now)
+        return len(self.bounds) - 1
+
+    def depart(self, member, epoch: int) -> None:
+        """Member leaves at boundary *epoch* (its last epoch is epoch-1)."""
+        member._edept = epoch
+        member._eled = None
+
+    def settle_member(self, member, upto: Optional[int] = None) -> None:
+        """Replay *member*'s deferred subtraction chain.
+
+        Bit-exact: the per-epoch ``dt`` is the same two boundary floats
+        the eager advance would subtract (``now - _last_update``), the
+        guard (``elapsed > 0 and rate > 0``) and the ``min`` clamp are
+        verbatim, and the chain order is the member's own.
+        """
+        end = self.epochs if upto is None else upto
+        e = member._eidx
+        if e >= end:
+            return
+        hist = member._eh
+        hi = len(hist) - 1
+        # Locate the history entry in effect at epoch e.
+        k = 0
+        while k < hi and hist[k + 1][0] <= e:
+            k += 1
+        rem = member._remaining
+        bounds = self.bounds
+        stop = min(end, member._edept)
+        while e < stop:
+            while k < hi and hist[k + 1][0] <= e:
+                k += 1
+            rate = hist[k][1]
+            elapsed = bounds[e + 1] - bounds[e]
+            if elapsed > 0 and rate > 0:
+                moved = min(rem, rate * elapsed)
+                rem -= moved
+            e += 1
+        member._remaining = rem
+        member._eidx = max(end, member._eidx)
+
+    def replay_bytes(self) -> None:
+        """Settle the shared per-link byte accumulators (barrier half).
+
+        Replays every member's chain from its ``_erem0`` seed in
+        epoch-major order — due member first, then arrival order — so
+        the per-link ``bytes_carried`` float accumulation matches the
+        eager regime add-for-add.  Members' ``_remaining`` values are
+        not touched (their own chains are settled separately and the
+        replay reproduces the same values by construction).
+        """
+        credit = self.credit_bytes
+        if credit is None:
+            return
+        rems = {id(m): m._erem0 for m in self.members}
+        bounds = self.bounds
+        for e in range(self.epochs):
+            elapsed = bounds[e + 1] - bounds[e]
+            due = self.dues[e]
+            ordered = [due] if due is not None else []
+            for m in self.members:
+                if m is due:
+                    continue
+                if m._ejoin <= e < m._edept:
+                    ordered.append(m)
+            for m in ordered:
+                # The due member's final epoch is e == _edept - 1; it
+                # is advanced here even though _edept excludes it from
+                # the survivor sweep above.
+                if not (m._ejoin <= e < m._edept or (m is due and e == m._edept - 1)):
+                    continue
+                hist = m._eh
+                rate = hist[0][1]
+                for start, r in hist:
+                    if start <= e:
+                        rate = r
+                    else:
+                        break
+                if elapsed > 0 and rate > 0:
+                    rem = rems[id(m)]
+                    moved = min(rem, rate * elapsed)
+                    rems[id(m)] = rem - moved
+                    credit(m, moved)
+
+
+class EpochRegion:
+    """A set of piecewise-constant-rate members behind one timer.
+
+    Pure composition/state — the provider (the flow network) owns the
+    arithmetic.  ``mode`` names the rung of the degradation ladder:
+
+    ``"classic"``
+        Per-member timers, fully eager (the pre-epoch behaviour).
+    ``"fast"``
+        Conceptual ``(instant, seq)`` instants, one slot timer,
+        optionally an :class:`EpochLedger` deferring member advances.
+    ``"analytic"``
+        One shared service curve (``astate``), one slot timer.
+    """
+
+    __slots__ = ("env", "mode", "slot", "seq", "ledger", "astate", "heap")
+
+    def __init__(self, env, seq: ArmSequencer) -> None:
+        self.env = env
+        self.mode = "fast"
+        self.slot = TimerSlot(env)
+        self.seq = seq
+        self.ledger: Optional[EpochLedger] = None
+        self.astate = None
+        # Lazy-deleted (at, seq, member) completion heap; an entry is
+        # live iff the member still carries exactly that (at, seq).
+        self.heap: list = []
+
+    def push_completion(self, member) -> None:
+        heapq.heappush(
+            self.heap, (member._timer_at, member._timer_seq, member)
+        )
+
+    def pop_earliest(self, live: Callable[[Any], bool]):
+        """Live head of the completion heap, or None.  *live* checks a
+        member still carries the entry's exact ``(at, seq)``."""
+        heap = self.heap
+        while heap:
+            at, seq, member = heap[0]
+            if (
+                member._timer_seq != seq
+                or member._timer_at != at
+                or not live(member)
+            ):
+                heapq.heappop(heap)
+                continue
+            return heap[0]
+        return None
+
+    def start_ledger(self, now: float, credit_bytes) -> EpochLedger:
+        ledger = EpochLedger(now)
+        ledger.credit_bytes = credit_bytes
+        self.ledger = ledger
+        return ledger
+
+    def drop_ledger(self) -> None:
+        ledger = self.ledger
+        if ledger is not None:
+            for m in ledger.members:
+                if m._eled is ledger:
+                    m._eled = None
+            self.ledger = None
+        self.heap.clear()
+
+    def disarm(self) -> None:
+        self.slot.disarm()

@@ -22,7 +22,7 @@ class TestBenchLibrary:
     def test_registry_names(self):
         assert set(BENCHMARKS) == {
             "flow_churn", "fanin_hotspot", "multipath_chunk_storm",
-            "transfer_storm", "fanin_scaling",
+            "transfer_storm", "fanin_scaling", "component_storm",
         }
 
     def test_document_shape(self, quick_document):

@@ -1,0 +1,107 @@
+"""Mode-knob resolution: precedence, validation, metadata stamping."""
+
+import pytest
+
+from repro.common.config import (
+    ENV_NET_ALLOCATOR,
+    ENV_NET_EPOCH,
+    ENV_NET_TRANSFER,
+    NET_ALLOCATORS,
+    NET_TRANSFER_MODES,
+    mode_metadata,
+    net_allocator,
+    net_epoch_enabled,
+    net_transfer_mode,
+    resolve_mode,
+)
+from repro.common.errors import ConfigError, ReproError
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    for var in (ENV_NET_ALLOCATOR, ENV_NET_TRANSFER, ENV_NET_EPOCH):
+        monkeypatch.delenv(var, raising=False)
+
+
+def test_precedence_kwarg_beats_env_beats_default(monkeypatch):
+    assert net_allocator() == "incremental"
+    monkeypatch.setenv(ENV_NET_ALLOCATOR, "legacy")
+    assert net_allocator() == "legacy"
+    assert net_allocator("fullscan") == "fullscan"  # kwarg wins
+
+
+def test_unknown_values_raise_config_error(monkeypatch):
+    with pytest.raises(ConfigError, match="unknown allocator"):
+        net_allocator("bogus")
+    monkeypatch.setenv(ENV_NET_TRANSFER, "chunky")
+    with pytest.raises(ConfigError, match="unknown transfer mode") as exc:
+        net_transfer_mode()
+    # The error names the source and the valid choices.
+    assert ENV_NET_TRANSFER in str(exc.value)
+    for mode in NET_TRANSFER_MODES:
+        assert mode in str(exc.value)
+
+
+def test_config_error_is_a_repro_error():
+    assert issubclass(ConfigError, ReproError)
+
+
+def test_epoch_flag_flips_default_allocator(monkeypatch):
+    monkeypatch.setenv(ENV_NET_EPOCH, "1")
+    assert net_epoch_enabled() is True
+    assert net_allocator() == "epoch"
+    # An explicit allocator still wins over the flag.
+    monkeypatch.setenv(ENV_NET_ALLOCATOR, "incremental")
+    assert net_allocator() == "incremental"
+    assert net_allocator("legacy") == "legacy"
+
+
+@pytest.mark.parametrize("raw,expected", [
+    ("1", True), ("true", True), ("YES", True), ("on", True),
+    ("0", False), ("false", False), ("no", False), ("off", False),
+    ("", False),
+])
+def test_epoch_flag_boolean_spellings(monkeypatch, raw, expected):
+    monkeypatch.setenv(ENV_NET_EPOCH, raw)
+    assert net_epoch_enabled() is expected
+
+
+def test_epoch_flag_rejects_garbage(monkeypatch):
+    monkeypatch.setenv(ENV_NET_EPOCH, "maybe")
+    with pytest.raises(ConfigError, match="unknown boolean"):
+        net_epoch_enabled()
+
+
+def test_resolve_mode_reports_source(monkeypatch):
+    with pytest.raises(ConfigError, match="from kwarg"):
+        resolve_mode("thing", env_var="NOPE", valid=("a",), default="a",
+                     override="b")
+    monkeypatch.setenv("REPRO_TEST_KNOB", "b")
+    with pytest.raises(ConfigError, match="from env REPRO_TEST_KNOB"):
+        resolve_mode("thing", env_var="REPRO_TEST_KNOB", valid=("a",),
+                     default="a")
+
+
+def test_mode_metadata_resolves_and_accepts_overrides(monkeypatch):
+    assert mode_metadata() == {
+        "allocator": "incremental",
+        "transfer_mode": "coalesced",
+        "epoch": False,
+    }
+    monkeypatch.setenv(ENV_NET_ALLOCATOR, "epoch")
+    assert mode_metadata()["epoch"] is True
+    meta = mode_metadata(allocator="legacy", transfer="per_batch")
+    assert meta == {
+        "allocator": "legacy",
+        "transfer_mode": "per_batch",
+        "epoch": False,
+    }
+
+
+def test_all_allocators_construct_networks():
+    from repro.net import FlowNetwork
+    from repro.sim import Environment
+
+    for allocator in NET_ALLOCATORS:
+        net = FlowNetwork(Environment(), allocator=allocator)
+        assert net.allocator == allocator

@@ -61,13 +61,13 @@ class TestDisjointComponents:
         fb = net.start_flow([lb], 10 * MB)  # finishes at t=0.1
         # Bus-off clean components run the comp-timer regime: fa's
         # completion instant lives on its component's single timer.
-        timer_a = fa._comp.timer
+        timer_a = fa._comp.region.slot.handle
         instant_a = fa._timer_at
         assert timer_a is not None
         env.run(until=0.2)
         assert fb.done.triggered
         # fb finishing emptied its own component; fa's arming survived.
-        assert fa._comp.timer is timer_a
+        assert fa._comp.region.slot.handle is timer_a
         assert not timer_a.cancelled
         assert fa._timer_at == instant_a
         env.run()
@@ -130,7 +130,7 @@ class TestCancelScoping:
         link = _link("a", "s", "d")
         flow = net.start_flow([link], 10 * MB)
         # Bus-off clean singleton: the completion timer is the comp's.
-        timer = flow._comp.timer
+        timer = flow._comp.region.slot.handle
         assert timer is not None
         net.cancel_flow(flow)
         flow.done.defuse()
@@ -185,7 +185,7 @@ class TestTimerElision:
         # (and the comp timer behind it) tracked the rate change.
         assert f1._timer is None
         assert f1._timer_at != instant
-        assert f1._comp.timer is not None
+        assert f1._comp.region.slot.armed
 
 
 class TestLazyProgress:

@@ -11,7 +11,7 @@ sweep lives in ``tests/property/test_transfer_mode_differential.py``.
 
 import pytest
 
-from repro.common.errors import SimulationError
+from repro.common.errors import ConfigError, SimulationError
 from repro.common.units import GB, MB
 from repro.net import FlowNetwork, Link, LinkKind, Path, TransferEngine
 from repro.net.transfer import TRANSFER_MODES
@@ -289,10 +289,10 @@ class TestModeSelection:
     def test_unknown_mode_rejected(self, monkeypatch):
         env = Environment()
         net = FlowNetwork(env)
-        with pytest.raises(SimulationError, match="unknown transfer mode"):
+        with pytest.raises(ConfigError, match="unknown transfer mode"):
             TransferEngine(env, net, mode="bogus")
         monkeypatch.setenv("REPRO_NET_TRANSFER", "bogus")
-        with pytest.raises(SimulationError, match="unknown transfer mode"):
+        with pytest.raises(ConfigError, match="unknown transfer mode"):
             TransferEngine(env, net)
 
 

@@ -165,3 +165,38 @@ class TestCacheInvalidation:
         assert net.cache_rebuilds == rebuilds
         assert capped._comp.cache is None
         assert capped.rate == 30 * MB
+
+
+class TestLevelBucketsAndHorizon:
+    def test_levels_record_member_buckets(self):
+        # Each cached level keeps the members frozen at it, so the
+        # epoch splice can visit only tail-level members instead of
+        # re-partitioning the whole component.
+        env = Environment()
+        net = FlowNetwork(env, allocator="incremental")
+        m0, m1 = _link("m0", 100 * MB), _link("m1", 400 * MB)
+        a = net.start_flow([m0, m1], 500 * MB)
+        b = net.start_flow([m0], 500 * MB)
+        c = net.start_flow([m1], 500 * MB)
+        cache = a._comp.cache
+        assert sorted(f.flow_id for f in cache[0].members) == \
+            sorted([a.flow_id, b.flow_id])
+        assert [f.flow_id for f in cache[1].members] == [c.flow_id]
+        # The bucket validity filter: (f._comp is comp, f._level_idx
+        # == level.index).  A departed member goes stale in place.
+        net.cancel_flow(b)
+        assert b._comp is None  # stale entry detectable, not purged
+
+    def test_epoch_horizon_diagnostic(self):
+        from repro.net.waterfill import epoch_horizon
+
+        env = Environment()
+        net = FlowNetwork(env, allocator="incremental")
+        m0 = _link("m0", 100 * MB)
+        a = net.start_flow([m0], 200 * MB)
+        b = net.start_flow([m0], 600 * MB)
+        horizon = epoch_horizon([a, b], env.now)
+        # Earliest analytic completion: a at 200MB / 50MB/s = 4s.
+        assert horizon == pytest.approx(4.0)
+        # Starved members contribute no horizon.
+        assert epoch_horizon([], env.now) is None

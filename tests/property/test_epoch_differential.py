@@ -1,0 +1,222 @@
+"""Differential testing of the epoch allocator.
+
+The opt-in ``epoch`` allocator defers per-member advances into a
+component ledger and fast-forwards whole epochs between clean events,
+replaying each member's byte-subtraction chain — same floats, same
+order — only when the member is *settled* (finish, cancel, probe,
+regime exit).  Because the replayed chain is the eager chain, every
+observable must be **bit-identical** to the default ``incremental``
+allocator, not merely close.
+
+The workload is the multi-link clean-churn regime the engine is built
+for: 8 GPU uplinks into two switch links and a shared NIC, a majority
+of 3-link paths, mid-flight cancels, and mid-run ``bytes_carried``
+probes (each probe forces a ledger settle, so divergence cannot hide
+until finish time).  250 seeds, compared with ``==`` on ``repr``
+strings — a one-ulp drift anywhere fails the suite.
+
+On top of the engine-level sweep, the paper's experiment surfaces are
+pinned: the Fig. 13 and Fig. 14 harnesses and the profiler blame
+decomposition run under ``REPRO_NET_ALLOCATOR=epoch`` and must produce
+the same numbers as ``incremental`` (with a bus attached the engine
+degrades to the classic regime — the degradation ladder's exactness,
+not its speed, is what these pin down).
+"""
+
+import random
+
+from repro.common.units import MB
+from repro.net import FlowNetwork, Link, LinkKind
+from repro.sim import Environment
+from repro.telemetry import capture
+
+N_SEEDS = 250
+
+
+def _links() -> dict:
+    """Two switch groups fanning into one NIC: multi-link components."""
+    out = []
+    for g in range(8):
+        out.append(Link(
+            link_id=f"gpu{g}", src=f"g{g}", dst=f"sw{g % 2}",
+            capacity=(3 + g) * 100 * MB, kind=LinkKind.PCIE,
+        ))
+    out.append(Link(link_id="swa", src="sw0", dst="host",
+                    capacity=900 * MB, kind=LinkKind.PCIE))
+    out.append(Link(link_id="swb", src="sw1", dst="host",
+                    capacity=1100 * MB, kind=LinkKind.PCIE))
+    out.append(Link(link_id="nic", src="host", dst="net",
+                    capacity=1500 * MB, kind=LinkKind.NIC))
+    return {link.link_id: link for link in out}
+
+
+def _replay(seed: int, allocator: str, flows_n: int = 120) -> tuple:
+    """Clean churn on the fan-in topology; every observable as repr."""
+    env = Environment()
+    net = FlowNetwork(env, allocator=allocator)
+    links = _links()
+    rng = random.Random(seed)
+    fins: dict[int, str] = {}
+    probes: list[tuple[float, str]] = []
+
+    def record(ev, index):
+        stats = getattr(ev, "value", None)
+        if hasattr(stats, "finished_at"):
+            fins[index] = repr(stats.finished_at)
+
+    def workload():
+        flows = []
+        for index in range(flows_n):
+            g = rng.randrange(8)
+            if rng.random() < 0.55:
+                path = [links[f"gpu{g}"],
+                        links["swa" if g % 2 == 0 else "swb"],
+                        links["nic"]]
+            else:
+                path = [links[f"gpu{g}"]]
+            flow = net.start_flow(path, rng.uniform(1, 80) * MB)
+            flow.done.callbacks.append(
+                lambda ev, j=index: record(ev, j)
+            )
+            flows.append(flow)
+            if rng.random() < 0.25 and flows:
+                victim = rng.choice(flows)
+                if not victim.done.triggered and \
+                        victim.flow_id in net._flows:
+                    net.cancel_flow(victim)
+                    victim.done.defuse()
+            if rng.random() < 0.1:
+                # Mid-run probe: forces a ledger settle on the NIC's
+                # component under the epoch allocator.
+                probes.append((round(env.now, 9),
+                               repr(net.bytes_carried(links["nic"]))))
+            yield env.timeout(rng.uniform(0.0, 0.05))
+
+    env.process(workload())
+    env.run()
+    end = [repr(net.bytes_carried(link)) for link in links.values()]
+    return fins, probes, end, repr(env.now), net
+
+
+def test_epoch_matches_incremental_bit_exactly():
+    """250-seed clean-churn sweep: identical reprs everywhere.
+
+    Internal counters are *not* compared — the epoch regime's
+    no-dissolve departures legitimately take a different number of
+    reallocation passes; only observables must match.
+    """
+    mismatches = []
+    boundaries = settles = 0
+    for seed in range(N_SEEDS):
+        *a, _net_a = _replay(seed, "incremental")
+        *b, net_b = _replay(seed, "epoch")
+        boundaries += net_b.epoch_boundaries
+        settles += net_b.epoch_settles
+        if a != b:
+            mismatches.append(seed)
+    assert not mismatches, (
+        f"epoch diverged from incremental for seeds {mismatches[:10]} "
+        f"({len(mismatches)}/{N_SEEDS})"
+    )
+    # The suite is meaningless if the deferred regime never engages.
+    assert boundaries > N_SEEDS, (boundaries, settles)
+    assert settles > N_SEEDS, (boundaries, settles)
+
+
+def test_epoch_exact_under_dense_same_instant_events():
+    """Zero-gap arrivals pile events onto shared instants, the
+    boundary-elision edge (same-timestamp events must not record
+    duplicate ledger epochs)."""
+    for seed in range(25):
+        env_pairs = []
+        for allocator in ("incremental", "epoch"):
+            env = Environment()
+            net = FlowNetwork(env, allocator=allocator)
+            links = _links()
+            rng = random.Random(seed)
+            fins = []
+
+            def workload(net=net, links=links, rng=rng, fins=fins,
+                         env=env):
+                for index in range(40):
+                    g = rng.randrange(8)
+                    path = [links[f"gpu{g}"],
+                            links["swa" if g % 2 == 0 else "swb"],
+                            links["nic"]]
+                    flow = net.start_flow(path, (1 + index % 5) * MB)
+                    flow.done.callbacks.append(
+                        lambda ev, j=index: fins.append(
+                            (j, repr(getattr(ev, "value", None)
+                                     .finished_at))
+                        )
+                    )
+                    if index % 3 != 0:  # bursts of same-instant starts
+                        yield env.timeout(0.0)
+                    else:
+                        yield env.timeout(rng.uniform(0.0, 0.01))
+
+            env.process(workload())
+            env.run()
+            env_pairs.append((sorted(fins), repr(env.now)))
+        assert env_pairs[0] == env_pairs[1], f"seed {seed}"
+
+
+# -- experiment-surface differentials ----------------------------------------
+
+def _fig13_rows(allocator: str, monkeypatch):
+    from repro.experiments import fig13
+
+    monkeypatch.setenv("REPRO_NET_ALLOCATOR", allocator)
+    table = fig13.run_pattern("inter", sizes_mb=(16, 64), trials=1)
+    return table.rows
+
+
+def test_fig13_outputs_bit_identical(monkeypatch):
+    assert _fig13_rows("epoch", monkeypatch) == \
+        _fig13_rows("incremental", monkeypatch)
+
+
+def _fig14_rows(allocator: str, monkeypatch):
+    from repro.experiments import fig14
+
+    monkeypatch.setenv("REPRO_NET_ALLOCATOR", allocator)
+    table = fig14.run(
+        preset="dgx-v100", workflows=("traffic",), duration=3.0,
+    )
+    return table.rows
+
+
+def test_fig14_outputs_bit_identical(monkeypatch):
+    assert _fig14_rows("epoch", monkeypatch) == \
+        _fig14_rows("incremental", monkeypatch)
+
+
+def _profile_blame(allocator: str, monkeypatch) -> dict:
+    from repro.experiments.harness import run_workload_on_plane
+    from repro.telemetry.profiler import build_profiles, extract_critical_path
+    from repro.workflow import get_workload
+
+    monkeypatch.setenv("REPRO_NET_ALLOCATOR", allocator)
+    with capture() as session:
+        _tb, results, _wl = run_workload_on_plane(
+            "grouter", "traffic", duration=2.0, rate=5.0, seed=3,
+        )
+    latencies = {r.request_id: r.latency for r in results}
+    (builder,) = build_profiles(session.events).values()
+    workflow = get_workload("traffic").workflow
+    blames = {}
+    for tree in builder.completed:
+        path = extract_critical_path(tree, workflow)
+        assert path.verify(latencies[tree.request_id]), (
+            f"{allocator}: inexact blame tiling for {tree.request_id}"
+        )
+        blames[tree.request_id] = dict(path.blame)
+    assert blames
+    return blames
+
+
+def test_profile_blame_identical_with_profiler_attached(monkeypatch):
+    # With the profiler's bus attached the engine runs the classic
+    # regime — the epoch opt-in must not perturb a single float.
+    assert _profile_blame("epoch", monkeypatch) == \
+        _profile_blame("incremental", monkeypatch)

@@ -1,0 +1,197 @@
+"""Unit tests for the piecewise-constant epoch layer.
+
+Directed coverage of the extracted machinery — the network-level
+differential suites in ``tests/property/`` prove the composition is
+bit-exact; these pin the primitives' contracts in isolation.
+"""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.epoch import ArmSequencer, EpochLedger, EpochRegion, TimerSlot
+
+
+class _Member:
+    """Duck-typed ledger member: just the epoch slots."""
+
+    def __init__(self, remaining: float):
+        self._remaining = remaining
+        self._timer_at = 0.0
+        self._timer_seq = -1
+        self._eled = None
+        self._eh = None
+        self._eidx = 0
+        self._ejoin = 0
+        self._edept = 0
+        self._erem0 = 0.0
+
+
+def test_arm_sequencer_is_monotonic():
+    seq = ArmSequencer()
+    drawn = [seq.next() for _ in range(5)]
+    assert drawn == sorted(drawn)
+    assert len(set(drawn)) == 5
+    assert all(s > 0 for s in drawn)  # -1 stays free as "not armed"
+
+
+def test_timer_slot_elides_identical_rearm():
+    env = Environment()
+    slot = TimerSlot(env)
+    fired = []
+    due = object()
+    assert slot.arm(1.0, due, lambda: fired.append("a")) is True
+    handle = slot.handle
+    # Same (due, at): elided, original handle untouched.
+    assert slot.arm(1.0, due, lambda: fired.append("b")) is False
+    assert slot.handle is handle
+    # Different instant: rearmed (old handle cancelled).
+    assert slot.arm(2.0, due, lambda: fired.append("c")) is True
+    assert slot.handle is not handle
+    env.run()
+    assert fired == ["c"]
+
+
+def test_timer_slot_disarm_and_fired():
+    env = Environment()
+    slot = TimerSlot(env)
+    due = object()
+    slot.arm(1.0, due, lambda: None)
+    assert slot.armed
+    slot.disarm()
+    assert not slot.armed and slot.due is None
+    env.run()  # cancelled call must not fire
+
+    slot.arm(2.0, due, lambda: None)
+    assert slot.fired() is due
+    assert not slot.armed and slot.due is None
+
+
+def _eager_chain(remaining, rates, bounds):
+    """The eager regime's per-boundary subtraction chain."""
+    rem = remaining
+    for (start, end), rate in zip(zip(bounds, bounds[1:]), rates):
+        elapsed = end - start
+        if elapsed > 0 and rate > 0:
+            rem -= min(rem, rate * elapsed)
+    return rem
+
+
+def test_ledger_settle_matches_eager_chain_bitwise():
+    ledger = EpochLedger(now=0.0)
+    member = _Member(remaining=1e6)
+    ledger.join(member, 0, 3.7e5)
+    ledger.boundary(0.13)
+    ledger.set_rate(member, 1, 9.1e5)
+    ledger.boundary(0.29)
+    ledger.set_rate(member, 2, 0.0)  # starved epoch: no-op term
+    ledger.boundary(0.31)
+    ledger.set_rate(member, 3, 2.2e5)
+    ledger.boundary(0.55)
+    ledger.settle_member(member)
+    expected = _eager_chain(
+        1e6, [3.7e5, 9.1e5, 0.0, 2.2e5], [0.0, 0.13, 0.29, 0.31, 0.55]
+    )
+    assert member._remaining == expected  # bit-exact, not approx
+    # Settling again is a no-op (idempotent on _eidx).
+    ledger.settle_member(member)
+    assert member._remaining == expected
+
+
+def test_ledger_partial_settle_is_prefix_of_full():
+    ledger = EpochLedger(now=0.0)
+    member = _Member(remaining=5e5)
+    ledger.join(member, 0, 1e5)
+    for t in (0.5, 1.0, 1.5, 2.0):
+        ledger.boundary(t)
+    ledger.settle_member(member, upto=2)
+    after_two = member._remaining
+    assert after_two == _eager_chain(5e5, [1e5, 1e5], [0.0, 0.5, 1.0])
+    ledger.settle_member(member)
+    assert member._remaining == _eager_chain(
+        5e5, [1e5] * 4, [0.0, 0.5, 1.0, 1.5, 2.0]
+    )
+    assert member._remaining < after_two
+
+
+def test_ledger_replay_bytes_due_member_first():
+    """The barrier replays epoch-major, due member before survivors."""
+    ledger = EpochLedger(now=0.0)
+    a, b = _Member(1e6), _Member(1e6)
+    ledger.join(a, 0, 2e5)
+    ledger.join(b, 0, 3e5)
+    # Boundary 1 created by a's completion: a advances first there.
+    ledger.boundary(1.0, due=a)
+    ledger.depart(a, 1)
+    ledger.boundary(2.0)
+    credits = []
+    ledger.credit_bytes = lambda m, moved: credits.append((m, moved))
+    ledger.replay_bytes()
+    # Epoch 0: due member a first, then b; epoch 1: only b survives
+    # (a's final epoch was 0).
+    assert [m for m, _ in credits] == [a, b, b]
+    assert credits[0][1] == min(1e6, 2e5 * 1.0)
+    assert credits[1][1] == min(1e6, 3e5 * 1.0)
+    assert credits[2][1] == min(1e6 - 3e5, 3e5 * 1.0)
+
+
+def test_ledger_replay_bytes_noop_without_credit_hook():
+    ledger = EpochLedger(now=0.0)
+    member = _Member(1e6)
+    ledger.join(member, 0, 1e5)
+    ledger.boundary(1.0)
+    ledger.replay_bytes()  # no credit_bytes: must not raise
+
+
+def test_region_completion_heap_skips_stale_entries():
+    env = Environment()
+    region = EpochRegion(env, ArmSequencer())
+    early, late = _Member(1.0), _Member(1.0)
+    early._timer_at, early._timer_seq = 1.0, region.seq.next()
+    late._timer_at, late._timer_seq = 2.0, region.seq.next()
+    region.push_completion(early)
+    region.push_completion(late)
+    # Rearm `early` at a later instant: the old heap entry is stale.
+    early._timer_at, early._timer_seq = 3.0, region.seq.next()
+    region.push_completion(early)
+    entry = region.pop_earliest(lambda m: True)
+    assert entry == (2.0, late._timer_seq, late)
+    # Liveness predicate filters too.
+    entry = region.pop_earliest(lambda m: m is not late)
+    assert entry == (3.0, early._timer_seq, early)
+
+
+def test_region_same_instant_ties_resolve_by_arming_order():
+    env = Environment()
+    region = EpochRegion(env, ArmSequencer())
+    first, second = _Member(1.0), _Member(1.0)
+    first._timer_at, first._timer_seq = 1.0, region.seq.next()
+    second._timer_at, second._timer_seq = 1.0, region.seq.next()
+    region.push_completion(second)
+    region.push_completion(first)
+    entry = region.pop_earliest(lambda m: True)
+    assert entry[2] is first  # earlier arm wins the same-instant tie
+
+
+def test_region_drop_ledger_detaches_members_and_clears_heap():
+    env = Environment()
+    region = EpochRegion(env, ArmSequencer())
+    ledger = region.start_ledger(0.0, credit_bytes=None)
+    member = _Member(1e6)
+    ledger.join(member, 0, 1e5)
+    member._timer_at, member._timer_seq = 1.0, region.seq.next()
+    region.push_completion(member)
+    assert member._eled is ledger
+    region.drop_ledger()
+    assert region.ledger is None
+    assert member._eled is None
+    assert region.heap == []
+
+
+def test_region_default_mode_and_disarm():
+    env = Environment()
+    region = EpochRegion(env, ArmSequencer())
+    assert region.mode == "fast"
+    region.slot.arm(1.0, object(), lambda: pytest.fail("must not fire"))
+    region.disarm()
+    env.run()
+    assert not region.slot.armed
