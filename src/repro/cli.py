@@ -25,6 +25,12 @@ Commands
     ``profile.json`` (per-request critical paths with exact blame
     tiling) and prints the per-category breakdown plus the Fig.-3
     shaped data-passing share per plane.
+``health``
+    Run one experiment with the SLO board and per-entity time series
+    attached: writes ``health.json`` (attainment, burn rate, violation
+    episodes, entity verdicts) plus the event spool it was derived
+    from, and prints an ASCII dashboard.  ``--replay`` rebuilds the
+    identical document from an existing spool.
 """
 
 from __future__ import annotations
@@ -353,6 +359,47 @@ def _cmd_profile(args) -> int:
     return 0 if inexact == 0 else 1
 
 
+def _bench_history(args, suite: str, document: dict, out: str) -> int:
+    """Shared bench post-processing: history append + optional compare.
+
+    Appends one dated record per run to ``BENCH_history.jsonl`` (next
+    to the suite's ``--out`` file unless ``--history`` overrides),
+    then — with ``--compare`` — diffs against the most recent
+    comparable record from *before* this run.  Returns the command's
+    exit code: 1 when a regression beyond ``--tolerance`` was flagged.
+    """
+    from repro.bench.history import (
+        HISTORY_FILENAME,
+        append_record,
+        compare_records,
+        format_compare,
+        latest_comparable,
+        load_history,
+        make_record,
+    )
+
+    if args.no_history and not args.compare:
+        return 0
+    history_path = args.history
+    if not history_path:
+        history_path = os.path.join(
+            os.path.dirname(out) or ".", HISTORY_FILENAME
+        )
+    record = make_record(suite, document)
+    history = load_history(history_path)
+    if not args.no_history:
+        append_record(record, history_path)
+        print(f"appended {suite} record to {history_path} "
+              f"({len(history) + 1} records)")
+    if not args.compare:
+        return 0
+    previous = latest_comparable(history, record)
+    result = compare_records(record, previous, tolerance=args.tolerance)
+    print()
+    print(format_compare(result))
+    return 1 if result["regressions"] else 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import format_summary, run_benchmarks, write_results
     from repro.net.network import ALLOCATORS
@@ -387,7 +434,7 @@ def _cmd_bench(args) -> int:
             os.makedirs(out_dir, exist_ok=True)
         write_results(document, args.out)
         print(f"\nwrote {args.out}")
-    return 0
+    return _bench_history(args, "net", document, args.out or "BENCH_net.json")
 
 
 def _cmd_bench_platform(args) -> int:
@@ -418,7 +465,8 @@ def _cmd_bench_platform(args) -> int:
             os.makedirs(out_dir, exist_ok=True)
         write_results(document, out)
         print(f"\nwrote {out}")
-    return 0
+    return _bench_history(args, "platform", document,
+                          out or "BENCH_platform.json")
 
 
 def _cmd_bench_telemetry(args) -> int:
@@ -449,7 +497,8 @@ def _cmd_bench_telemetry(args) -> int:
             os.makedirs(out_dir, exist_ok=True)
         write_results(document, out)
         print(f"\nwrote {out}")
-    return 0
+    return _bench_history(args, "telemetry", document,
+                          out or "BENCH_telemetry.json")
 
 
 def _cmd_bench_endtoend(args) -> int:
@@ -482,6 +531,78 @@ def _cmd_bench_endtoend(args) -> int:
             os.makedirs(out_dir, exist_ok=True)
         write_results(document, out)
         print(f"\nwrote {out}")
+    return _bench_history(args, "endtoend", document,
+                          out or "BENCH_endtoend.json")
+
+
+def _cmd_health(args) -> int:
+    """``repro health``: run an experiment, report SLO + entity health.
+
+    The experiment runs with a JSONL event spool attached; the health
+    document is built **from the spool**, never from live simulator
+    state, so ``repro health --replay <spool>`` on the same file
+    reproduces the identical verdicts (the bit-identical contract the
+    acceptance tests pin).
+    """
+    import json
+
+    from repro.telemetry import JsonlEventSink, capture
+    from repro.telemetry.health import (
+        build_health,
+        fold_runs,
+        format_dashboard,
+        health_trace_events,
+    )
+    from repro.telemetry.slo import default_specs
+
+    specs = default_specs(
+        latency_s=args.latency_slo_ms / 1000.0,
+        ttft_s=args.ttft_slo_ms / 1000.0,
+        data_share_max=args.data_share_max,
+        objective=args.objective,
+        window=args.window,
+    )
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    if args.replay:
+        spool = args.replay
+        tables = []
+    else:
+        if args.experiment not in EXPERIMENTS:
+            print(f"unknown experiment: {args.experiment}", file=sys.stderr)
+            print(f"choose from: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        _description, full, quick = EXPERIMENTS[args.experiment]
+        spool = args.spool
+        if not spool:
+            spool = os.path.join(out_dir or ".", "health_events.jsonl")
+        spool_dir = os.path.dirname(spool)
+        if spool_dir:
+            os.makedirs(spool_dir, exist_ok=True)
+        with capture(sinks=[JsonlEventSink(spool)]):
+            tables = quick() if args.quick else full()
+    state = fold_runs(spool, specs)
+    health = build_health(spool, specs, state=state)
+    with open(args.out, "w") as handle:
+        json.dump(health, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if args.trace:
+        _stores, boards, _planes = state
+        records = health_trace_events(boards, multi_run=len(boards) > 1)
+        with open(args.trace, "w") as handle:
+            json.dump({"traceEvents": records, "displayTimeUnit": "ms"},
+                      handle)
+        print(f"wrote {args.trace}: {len(records)} SLO counter records")
+    print(format_dashboard(health))
+    print()
+    print(f"wrote {args.out} (spool: {spool})")
+    if not args.quiet:
+        for table in tables:
+            print()
+            print(render(table, args.format))
+    if args.strict and health["overall"] != "ok":
+        return 1
     return 0
 
 
@@ -542,6 +663,50 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--quiet", action="store_true",
                          help="skip the experiment's own result tables")
 
+    health = sub.add_parser(
+        "health",
+        help="run an experiment with SLO + entity health tracking; "
+             "write health.json and an ASCII dashboard",
+    )
+    health.add_argument(
+        "experiment", nargs="?", default="fig14",
+        help="experiment to run (default: fig14; ignored with --replay)",
+    )
+    health.add_argument("--quick", action="store_true",
+                        help="scaled-down parameters")
+    health.add_argument("--out", default="health.json",
+                        help="health document to write (default: "
+                             "health.json)")
+    health.add_argument("--spool",
+                        help="JSONL event spool path (default: "
+                             "health_events.jsonl next to --out)")
+    health.add_argument("--replay", metavar="SPOOL",
+                        help="skip the run; rebuild health from an "
+                             "existing JSONL spool")
+    health.add_argument("--trace",
+                        help="also write SLO burn-rate Perfetto counter "
+                             "tracks to this trace file")
+    health.add_argument("--latency-slo-ms", type=float, default=5000.0,
+                        help="per-request latency threshold (default "
+                             "5000 ms)")
+    health.add_argument("--ttft-slo-ms", type=float, default=5000.0,
+                        help="time-to-first-compute threshold (default "
+                             "5000 ms)")
+    health.add_argument("--data-share-max", type=float, default=0.9,
+                        help="data-passing share ceiling per request "
+                             "(default 0.9)")
+    health.add_argument("--objective", type=float, default=0.95,
+                        help="good fraction each SLO must hold "
+                             "(default 0.95)")
+    health.add_argument("--window", type=float, default=5.0,
+                        help="rolling SLO window in sim seconds "
+                             "(default 5.0)")
+    health.add_argument("--strict", action="store_true",
+                        help="exit 1 unless the overall verdict is ok")
+    health.add_argument("--format", choices=FORMATS, default="table")
+    health.add_argument("--quiet", action="store_true",
+                        help="skip the experiment's own result tables")
+
     sub.add_parser("workloads", help="describe the workflow suite")
 
     bench = sub.add_parser(
@@ -579,6 +744,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="endtoend suite: keep spooled telemetry under this "
              "directory instead of a deleted temp dir",
     )
+    bench.add_argument(
+        "--history",
+        help="bench trajectory file to append this run to (default: "
+             "BENCH_history.jsonl next to --out)",
+    )
+    bench.add_argument(
+        "--no-history", action="store_true",
+        help="skip appending this run to the bench trajectory",
+    )
+    bench.add_argument(
+        "--compare", action="store_true",
+        help="diff against the most recent comparable history record; "
+             "exit 1 on a regression beyond --tolerance",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="relative noise tolerance for --compare (default 0.15)",
+    )
 
     sub.add_parser(
         "validate",
@@ -595,6 +778,7 @@ def main(argv=None) -> int:
         "topo": _cmd_topo,
         "trace": _cmd_trace,
         "profile": _cmd_profile,
+        "health": _cmd_health,
         "workloads": _cmd_workloads,
         "bench": _cmd_bench,
         "validate": _cmd_validate,

@@ -16,6 +16,7 @@ from repro.common.errors import SchedulingError
 from repro.functions.spec import FunctionSpec
 from repro.sim.core import Environment, Process
 from repro.sim.resources import Resource
+from repro.telemetry.events import ReplicaOutstanding
 from repro.topology.devices import Gpu
 from repro.topology.node import NodeTopology
 
@@ -90,10 +91,22 @@ class FunctionInstance:
     def begin_work(self) -> None:
         """A stage invocation was dispatched to this replica."""
         self.outstanding += 1
+        self._publish_outstanding()
 
     def end_work(self) -> None:
         """The invocation completed (or failed); release its claim."""
         self.outstanding = max(0, self.outstanding - 1)
+        self._publish_outstanding()
+
+    def _publish_outstanding(self) -> None:
+        bus = self.env.telemetry
+        if bus is not None:
+            bus.publish(ReplicaOutstanding(
+                t=self.env.now,
+                replica=self.instance_id,
+                device_id=self.device_id,
+                outstanding=self.outstanding,
+            ))
 
     def execute(
         self, batch: int = 1, input_bytes: float = 0.0, priority: float = 0.0

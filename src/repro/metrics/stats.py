@@ -241,6 +241,21 @@ class Timeline:
         self.times.append(t)
         self.values.append(value)
 
+    def sample_edge(self, t: float, value: float) -> None:
+        """Sample, collapsing repeated same-instant samples to the last.
+
+        Event-edge consumers can observe many state transitions at one
+        simulation instant (a macro-flow split replays its virtual
+        batch history in a single call stack); keeping every
+        intermediate sample would let zero-duration points skew
+        sample-weighted summaries.  Only the final value at each ``t``
+        is the state the timeline should remember.
+        """
+        if self.times and t == self.times[-1]:
+            self.values[-1] = value
+            return
+        self.sample(t, value)
+
     def __len__(self) -> int:
         return len(self.times)
 

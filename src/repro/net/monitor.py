@@ -14,6 +14,14 @@ transitions between periodic ticks.  Subscribing to
 :class:`~repro.telemetry.events.FlowsReallocated` rather than flow
 starts means a rate change induced by a flow on *other* links of the
 same component still resamples the watched link.
+
+Samples are recorded with edge semantics
+(:meth:`~repro.metrics.stats.Timeline.sample_edge`): when several bus
+events land at one simulation instant — notably a macro-flow split
+replaying its virtual per-batch history in a single call stack — only
+the final post-transition value at that instant is kept.  Recording
+every intermediate callback would stack duplicate zero-duration
+samples and skew the sample-weighted mean.
 """
 
 from __future__ import annotations
@@ -66,11 +74,7 @@ class LinkUtilizationMonitor:
             return
         self._running = True
         self._process = self.env.process(self._sample_loop())
-        bus = self.env.telemetry
-        if bus is not None and not self._subscribed:
-            bus.subscribe(FlowsReallocated, self._on_flow_change)
-            bus.subscribe(FlowFinished, self._on_flow_change)
-            self._subscribed = True
+        self._ensure_subscribed()
 
     def stop(self) -> None:
         """Stop sampling immediately (idempotent).
@@ -90,12 +94,28 @@ class LinkUtilizationMonitor:
             bus.unsubscribe(FlowFinished, self._on_flow_change)
             self._subscribed = False
 
+    def _ensure_subscribed(self) -> None:
+        """Subscribe the bus consumer if a bus exists (idempotent).
+
+        Checked again on every periodic tick, not just at
+        :meth:`start`: a telemetry session attached mid-run (the spool
+        / live-capture pattern) installs the bus *after* the monitor
+        started, and the exact-transition resampling should engage the
+        moment events begin to flow.
+        """
+        bus = self.env.telemetry
+        if bus is not None and not self._subscribed:
+            bus.subscribe(FlowsReallocated, self._on_flow_change)
+            bus.subscribe(FlowFinished, self._on_flow_change)
+            self._subscribed = True
+
     def _sample_loop(self):
         try:
             while self._running:
                 if self.horizon is not None and self.env.now >= self.horizon:
                     self._running = False
                     return
+                self._ensure_subscribed()
                 self._sample_all()
                 yield self.env.timeout(self.interval)
         except Interrupt:
@@ -104,7 +124,7 @@ class LinkUtilizationMonitor:
     def _sample_all(self) -> None:
         for link in self.links:
             utilization = self.network.allocated_on(link) / link.capacity
-            self.timelines[link.link_id].sample(self.env.now, utilization)
+            self.timelines[link.link_id].sample_edge(self.env.now, utilization)
 
     def _on_flow_change(self, event) -> None:
         """Bus consumer: resample when a rate change touches a watched link.

@@ -652,6 +652,7 @@ class FlowNetwork:
                 dst=flow.path[-1].dst,
                 nominal_bw=min(link.capacity for link in flow.path),
                 owner=flow.owner,
+                capacities=tuple(link.capacity for link in flow.path),
             ))
         if self.allocator == "legacy":
             self._reallocate_legacy("start", flow.flow_id)
@@ -914,6 +915,7 @@ class FlowNetwork:
                     dst=flow.path[-1].dst,
                     nominal_bw=min(link.capacity for link in flow.path),
                     owner=flow.owner,
+                    capacities=tuple(link.capacity for link in flow.path),
                 ))
                 bus.publish(FlowsReallocated(
                     t=entry.s,
@@ -1049,6 +1051,7 @@ class FlowNetwork:
         src = flow.path[0].src
         dst = flow.path[-1].dst
         nominal = min(link.capacity for link in flow.path)
+        caps = tuple(link.capacity for link in flow.path)
         for j in range(macro.published, upto):
             entry = macro.entries[j]
             vid = next(Flow._ids)
@@ -1062,6 +1065,7 @@ class FlowNetwork:
                 dst=dst,
                 nominal_bw=nominal,
                 owner=flow.owner,
+                capacities=caps,
             ))
             bus.publish(FlowsReallocated(
                 t=entry.s,

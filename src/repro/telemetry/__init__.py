@@ -23,6 +23,7 @@ from repro.telemetry.events import (
     PoolAlloc,
     PoolFree,
     PoolTrim,
+    ReplicaOutstanding,
     RequestArrived,
     RequestFinished,
     RouteSelected,
@@ -35,6 +36,13 @@ from repro.telemetry.events import (
     TransferFinished,
     TransferStarted,
 )
+from repro.telemetry.health import (
+    build_health,
+    build_run_health,
+    fold_runs,
+    format_dashboard,
+    health_trace_events,
+)
 from repro.telemetry.heartbeat import RunMonitor, current_rss_bytes
 from repro.telemetry.metrics import (
     BoundedGauge,
@@ -45,6 +53,14 @@ from repro.telemetry.metrics import (
 )
 from repro.telemetry.recorder import StandardMetrics, TraceRecorder
 from repro.telemetry.session import TelemetrySession, capture
+from repro.telemetry.slo import (
+    Episode,
+    SloBoard,
+    SloSpec,
+    SloTracker,
+    default_specs,
+)
+from repro.telemetry.timeseries import EntitySeries, TimeSeriesStore
 from repro.telemetry.sinks import (
     ChromeStreamingSink,
     JsonlEventSink,
@@ -60,6 +76,8 @@ __all__ = [
     "BoundedGauge",
     "ChromeStreamingSink",
     "Counter",
+    "EntitySeries",
+    "Episode",
     "EventBus",
     "FlowFinished",
     "FlowStarted",
@@ -73,10 +91,14 @@ __all__ = [
     "PoolAlloc",
     "PoolFree",
     "PoolTrim",
+    "ReplicaOutstanding",
     "RequestArrived",
     "RequestFinished",
     "RouteSelected",
     "RunMonitor",
+    "SloBoard",
+    "SloSpec",
+    "SloTracker",
     "StageQueueDepth",
     "StageSpan",
     "StandardMetrics",
@@ -86,14 +108,21 @@ __all__ = [
     "StreamingSink",
     "TelemetryEvent",
     "TelemetrySession",
+    "TimeSeriesStore",
     "TraceRecorder",
     "TransferFinished",
     "TransferStarted",
+    "build_health",
+    "build_run_health",
     "capture",
     "current_rss_bytes",
     "decode_event",
+    "default_specs",
     "encode_event",
     "export_chrome_trace",
+    "fold_runs",
+    "format_dashboard",
+    "health_trace_events",
     "iter_jsonl_events",
     "replay_metrics",
     "to_trace_events",

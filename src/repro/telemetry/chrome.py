@@ -29,6 +29,7 @@ from repro.telemetry.events import (
     PoolAlloc,
     PoolFree,
     PoolTrim,
+    ReplicaOutstanding,
     RequestArrived,
     RequestFinished,
     StageQueueDepth,
@@ -149,6 +150,12 @@ def convert_event(event: TelemetryEvent, pid_prefix: str = "") -> list[dict]:
             f"pool {event.device_id}", event.t,
             p + _node_of(event.device_id), event.device_id,
             {"reserved": event.reserved, "in_use": event.in_use},
+        )]
+    if isinstance(event, ReplicaOutstanding):
+        return [_counter(
+            f"outstanding {event.replica}", event.t,
+            p + _node_of(event.device_id), event.device_id,
+            {"outstanding": event.outstanding},
         )]
     if isinstance(event, StageQueueDepth):
         return [_counter(

@@ -33,7 +33,11 @@ class FlowStarted(TelemetryEvent):
     rate the flow would sustain alone, which the profiler uses to split
     transfer time into serialization vs. link contention.  ``owner`` is
     the request id the flow moves data for (empty for background work
-    such as eviction migrations).
+    such as eviction migrations).  ``capacities`` is aligned
+    index-for-index with ``links`` (per-link capacity in bytes/sec), so
+    stream consumers can derive per-link utilization fractions without
+    a live :class:`~repro.net.network.FlowNetwork` — the property that
+    lets a spooled run reproduce health verdicts bit-identically.
     """
 
     flow_id: int
@@ -44,6 +48,7 @@ class FlowStarted(TelemetryEvent):
     dst: str
     nominal_bw: float = 0.0
     owner: str = ""
+    capacities: tuple[float, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -266,6 +271,20 @@ class StageSpan(TelemetryEvent):
     end: float
     device_id: str
     replica: str = ""
+
+
+@dataclass(frozen=True)
+class ReplicaOutstanding(TelemetryEvent):
+    """A replica's in-flight work count changed (counter-track sample).
+
+    Published by :class:`~repro.functions.instance.FunctionInstance` on
+    every ``begin_work``/``end_work`` edge, so consumers can reconstruct
+    per-replica load without polling the instance registry.
+    """
+
+    replica: str
+    device_id: str
+    outstanding: int
 
 
 @dataclass(frozen=True)

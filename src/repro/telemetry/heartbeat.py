@@ -53,11 +53,16 @@ class RunMonitor:
         sinks: Sequence = (),
         stream=None,
         now: Callable[[], float] = time.monotonic,
+        slo_board=None,
     ) -> None:
         self.env = env
         self.interval = interval
         self.label = label
         self.sinks = list(sinks)
+        # Optional repro.telemetry.slo.SloBoard: when set, each beat
+        # appends live worst-attainment/burn so an operator sees SLO
+        # pressure without waiting for the end-of-run health report.
+        self.slo_board = slo_board
         self.stream = stream if stream is not None else sys.stderr
         self._now = now
         self.done = 0
@@ -101,12 +106,20 @@ class RunMonitor:
         delta = self.done - self._last_done
         rss = self.sample_rss()
         sim = f"sim={self.env.now:.1f}s " if self.env is not None else ""
+        slo = ""
+        board = self.slo_board
+        if board is not None and board.trackers:
+            trackers = board.trackers.values()
+            attainment = min(t.attainment for t in trackers)
+            burn = max(t.burn_rate for t in trackers)
+            slo = f" slo={attainment:.3f} burn={burn:.2f}"
         self.stream.write(
             f"[hb {self.label}] {sim}done={self.done} "
             f"(+{delta} @ {delta / elapsed:.0f}/s) "
             f"rss={rss / 1e6:.1f}MB "
             f"backlog={self.event_backlog} "
-            f"spooled={self.events_spooled}\n"
+            f"spooled={self.events_spooled}"
+            f"{slo}\n"
         )
         self.stream.flush()
         self.beats += 1

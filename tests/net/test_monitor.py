@@ -120,9 +120,12 @@ class TestMonitorOnBus:
         net.start_flow([link], size=100.0, rate_cap=50.0)  # busy 0..2s
         env.run()
         timeline = monitor.timelines[link.link_id]
-        # The interval alone would sample only at t=0; the flow's
-        # start/finish events add samples capturing the transition.
-        assert len(timeline) >= 3
+        # The interval alone would sample only at t=0 (value 0, before
+        # the flow); the flow's start/finish events add the transition
+        # edges.  Same-instant samples collapse to the final value, so
+        # t=0 records the post-start utilization, not a duplicate pair.
+        assert len(timeline) >= 2
+        assert timeline.value_at(0.0) == pytest.approx(0.5)
         assert monitor.peak(link) == pytest.approx(0.5)
         assert timeline.values[-1] == 0.0
 
@@ -138,3 +141,66 @@ class TestMonitorOnBus:
         assert env.telemetry.subscriber_count == 2
         monitor.stop()
         assert env.telemetry.subscriber_count == 0
+
+    def test_midrun_attach_with_macro_replay_does_not_double_count(self):
+        # Regression: a monitor running while a telemetry session
+        # attaches mid-run used to (a) never subscribe (bus checked only
+        # at start()) and (b) once subscribed, record one sample per
+        # virtual-timestamp batch event when a macro-flow split replayed
+        # its elapsed history — dozens of duplicate same-instant samples
+        # that skewed the sample-weighted mean.  Edge resampling keeps
+        # exactly one sample per observed instant.
+        from repro.common.units import GB, MB
+        from repro.net import Path, TransferEngine
+        from repro.telemetry.session import TelemetrySession
+
+        env = Environment()
+        net = FlowNetwork(env, allocator="epoch")
+        engine = TransferEngine(env, net, chunk_size=2 * MB, batch_chunks=5,
+                                batch_setup=20e-6, mode="coalesced")
+        mlink = Link("mlink", "m", "host", capacity=1 * GB,
+                     kind=LinkKind.PCIE)
+        other = Link("other", "g0", "host", capacity=4 * GB,
+                     kind=LinkKind.PCIE)
+        monitor = LinkUtilizationMonitor(env, net, [mlink], interval=0.005,
+                                         horizon=0.1)
+        monitor.start()
+
+        attach_at = 0.01
+        session = TelemetrySession()
+
+        def transferrer():
+            # Coalesced macro on the watched link: many virtual batches
+            # elapse before the session attaches, and all of them replay
+            # through the bus when the macro resolves.
+            yield engine.transfer([Path((mlink,))], 64 * MB, tag="macro")
+
+        def attacher():
+            yield env.timeout(attach_at)
+            session.attach(env)
+            flow = net.start_flow([other], 12 * MB)
+            yield flow.done
+
+        env.process(transferrer())
+        env.process(attacher())
+        env.run()
+        # The mid-run attach engaged the bus consumer via the periodic
+        # tick (start() ran before any bus existed).
+        assert monitor._subscribed
+        monitor.stop()
+        env.run()
+
+        # The hazard actually occurred: the macro replayed a burst of
+        # virtual-timestamp batch events on the watched link, all
+        # delivered at one real env.now.
+        virtual = [
+            event for _run, event in session.events
+            if type(event).__name__ == "FlowStarted"
+            and "mlink" in event.links and event.t < attach_at
+        ]
+        assert len(virtual) > 1
+        # One sample per instant: strictly increasing timestamps, no
+        # duplicate same-instant samples skewing the weighted mean.
+        timeline = monitor.timelines["mlink"]
+        assert len(timeline) >= 2
+        assert list(timeline.times) == sorted(set(timeline.times))

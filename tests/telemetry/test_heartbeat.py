@@ -76,6 +76,32 @@ class TestHeartbeat:
         assert "(+20 @ 10/s)" in lines[0]
         assert "(+10 @ 5/s)" in lines[1]
 
+    def test_slo_board_appends_attainment_and_burn(self):
+        from repro.telemetry.slo import SloBoard, SloSpec
+
+        board = SloBoard([
+            SloSpec("latency", "latency", threshold=1.0,
+                    objective=0.9, window=10.0),
+        ])
+        tracker = board.trackers["latency"]
+        tracker.observe(0.0, 0.5)  # good
+        tracker.observe(1.0, 2.0)  # bad -> attainment 0.5, burn 5
+        clock, out = FakeClock(), io.StringIO()
+        monitor = RunMonitor(interval=1.0, stream=out, now=clock,
+                             slo_board=board)
+        clock.t = 2.0
+        monitor.tick(done=2)
+        line = out.getvalue()
+        assert "slo=0.500" in line
+        assert "burn=5.00" in line
+
+    def test_no_slo_board_no_slo_field(self):
+        clock, out = FakeClock(), io.StringIO()
+        monitor = RunMonitor(interval=1.0, stream=out, now=clock)
+        clock.t = 2.0
+        monitor.tick(done=1)
+        assert "slo=" not in out.getvalue()
+
 
 class TestWrap:
     def test_wrap_chains_sink_and_counts(self):
