@@ -29,12 +29,15 @@ __all__ = [
     "net_allocator",
     "net_transfer_mode",
     "net_epoch_enabled",
+    "net_routing_mode",
     "mode_metadata",
     "NET_ALLOCATORS",
     "NET_TRANSFER_MODES",
+    "NET_ROUTING_MODES",
     "ENV_NET_ALLOCATOR",
     "ENV_NET_TRANSFER",
     "ENV_NET_EPOCH",
+    "ENV_NET_ROUTING",
 ]
 
 # Canonical knob names / valid values.  The net layer re-exports these
@@ -42,10 +45,15 @@ __all__ = [
 # existing import sites keep working.
 NET_ALLOCATORS = ("incremental", "epoch", "fullscan", "legacy", "analytic")
 NET_TRANSFER_MODES = ("coalesced", "per_batch")
+# Route-decision mode: "book" reads precomputed path books and the
+# O(1) contention index; "enumerate" re-runs the per-decision topology
+# enumeration (the pre-book reference path, kept for differentials).
+NET_ROUTING_MODES = ("book", "enumerate")
 
 ENV_NET_ALLOCATOR = "REPRO_NET_ALLOCATOR"
 ENV_NET_TRANSFER = "REPRO_NET_TRANSFER"
 ENV_NET_EPOCH = "REPRO_NET_EPOCH"
+ENV_NET_ROUTING = "REPRO_NET_ROUTING"
 
 _TRUTHY = ("1", "true", "yes", "on")
 _FALSY = ("0", "false", "no", "off", "")
@@ -132,10 +140,22 @@ def net_transfer_mode(override: Optional[str] = None) -> str:
     )
 
 
+def net_routing_mode(override: Optional[str] = None) -> str:
+    """Resolve the route-decision mode (path books vs. re-enumeration)."""
+    return resolve_mode(
+        "routing mode",
+        env_var=ENV_NET_ROUTING,
+        valid=NET_ROUTING_MODES,
+        default="book",
+        override=override,
+    )
+
+
 def mode_metadata(
     *,
     allocator: Optional[str] = None,
     transfer: Optional[str] = None,
+    routing: Optional[str] = None,
 ) -> Dict[str, object]:
     """Resolved mode knobs as a flat dict, for stamping BENCH_*.json.
 
@@ -148,4 +168,5 @@ def mode_metadata(
         "allocator": resolved_alloc,
         "transfer_mode": net_transfer_mode(transfer),
         "epoch": resolved_alloc == "epoch",
+        "routing": net_routing_mode(routing),
     }

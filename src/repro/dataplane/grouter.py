@@ -46,11 +46,7 @@ from repro.storage.objects import DataObject, DataRef
 from repro.topology.cluster import ClusterTopology
 from repro.topology.devices import Gpu
 from repro.topology.node import NodeTopology
-from repro.topology.paths import (
-    cross_node_gdr_path,
-    gpu_to_host_path,
-    host_to_gpu_path,
-)
+from repro.topology.routebook import route_book
 
 # Floor on SLO slack when deriving Rate_least, to avoid infinite rates.
 MIN_SLACK = 1 * MS
@@ -229,26 +225,23 @@ class GRouterPlane(DataPlane):
     # -- transfer patterns (§4.2.2 / §4.3.1) --------------------------------------
     def _host_paths(self, node: NodeTopology, gpu: Gpu, direction: str):
         if not self.harvesting:
-            if direction == "to_host":
-                return [gpu_to_host_path(node, gpu)]
-            return [host_to_gpu_path(node, gpu)]
+            return [self._direct_host_path(node, gpu, direction)]
         routes = select_pcie_routes(
             node,
             gpu,
             topology_aware=self.topology_aware,
             network=self.network if self.topology_aware else None,
+            routing=self.routing,
         )
-        return pcie_host_paths(node, gpu, routes, direction)
+        return pcie_host_paths(node, gpu, routes, direction, routing=self.routing)
 
     def _get_from_host(self, ctx: FnContext, obj: DataObject, node_id: str):
         """Serve an object whose bytes are in host memory."""
         src_node = self.cluster.node(node_id)
         if node_id != ctx.node.node_id:
             # Rare: host-resident data on another node (cFn output).
-            from repro.topology.paths import host_to_host_path
-
             yield from self._run_transfer(
-                [host_to_host_path(self.cluster, src_node, ctx.node)],
+                [self._host_to_host_path(src_node, ctx.node)],
                 obj.size,
                 "host-host",
                 src=src_node.host.device_id,
@@ -297,20 +290,28 @@ class GRouterPlane(DataPlane):
         node = ctx.node
         if self.topology_aware:
             selection = select_parallel_nvlink_paths(
-                node, self.network, src_gpu, ctx.gpu
+                node, self.network, src_gpu, ctx.gpu, routing=self.routing
             )
             paths = selection.paths
         else:
             paths = []
-            from repro.topology.paths import nvlink_direct_path
+            if self.routing == "book":
+                direct = route_book(node).nvlink_direct(
+                    src_gpu.index, ctx.gpu.index
+                )
+            else:
+                from repro.topology.paths import nvlink_direct_path
 
-            direct = nvlink_direct_path(node, src_gpu, ctx.gpu)
+                direct = nvlink_direct_path(node, src_gpu, ctx.gpu)
             if direct is not None:
                 paths = [direct]
         if not paths:
-            from repro.topology.paths import gpu_p2p_pcie_path
+            if self.routing == "book":
+                paths = [route_book(node).gpu_p2p(src_gpu.index, ctx.gpu.index)]
+            else:
+                from repro.topology.paths import gpu_p2p_pcie_path
 
-            paths = [gpu_p2p_pcie_path(node, src_gpu, ctx.gpu)]
+                paths = [gpu_p2p_pcie_path(node, src_gpu, ctx.gpu)]
         yield from self._run_transfer(
             paths,
             size,
@@ -328,11 +329,12 @@ class GRouterPlane(DataPlane):
                 src_gpu,
                 ctx.gpu,
                 topology_aware=self.topology_aware,
+                routing=self.routing,
             )
         else:
             paths = []
         if not paths:
-            paths = [cross_node_gdr_path(self.cluster, src_gpu, ctx.gpu)]
+            paths = [self._gdr_path(src_gpu, ctx.gpu)]
         yield from self._run_transfer(
             paths,
             size,

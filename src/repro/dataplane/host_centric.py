@@ -17,11 +17,6 @@ from repro.dataplane.base import (
 )
 from repro.functions.instance import FnContext
 from repro.storage.objects import DataRef
-from repro.topology.paths import (
-    gpu_to_host_path,
-    host_to_gpu_path,
-    host_to_host_path,
-)
 
 CAT_HOST_HOST = "host-host"
 
@@ -36,7 +31,7 @@ class HostCentricPlane(DataPlane):
         obj = self._new_object(ctx, size, expected_consumers, priority)
         if ctx.is_gpu:
             # Device-to-host copy over the local PCIe uplink.
-            path = gpu_to_host_path(ctx.node, ctx.gpu)
+            path = self._direct_host_path(ctx.node, ctx.gpu, "to_host")
             yield from self._run_transfer(
                 [path],
                 size,
@@ -61,7 +56,7 @@ class HostCentricPlane(DataPlane):
         if node_id != ctx.node.node_id:
             # Pull the object host-to-host over the NIC, then serve it
             # from the local host store.
-            path = host_to_host_path(self.cluster, src_node, ctx.node)
+            path = self._host_to_host_path(src_node, ctx.node)
             yield from self._run_transfer(
                 [path],
                 obj.size,
@@ -75,7 +70,7 @@ class HostCentricPlane(DataPlane):
             self.catalog.move(obj.object_id, ctx.node.node_id)
 
         if ctx.is_gpu:
-            path = host_to_gpu_path(ctx.node, ctx.gpu)
+            path = self._direct_host_path(ctx.node, ctx.gpu, "from_host")
             yield from self._run_transfer(
                 [path],
                 obj.size,

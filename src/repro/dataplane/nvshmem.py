@@ -34,11 +34,6 @@ from repro.storage.objects import DataObject, DataRef
 from repro.topology.cluster import ClusterTopology
 from repro.topology.devices import Gpu
 from repro.topology.node import NodeTopology
-from repro.topology.paths import (
-    cross_node_gdr_path,
-    gpu_to_host_path,
-    host_to_gpu_path,
-)
 
 SYMMETRIC_TAG = "nvshmem-symmetric"
 
@@ -105,7 +100,7 @@ class NvshmemPlane(DataPlane):
     def _host_to_gpu(self, node: NodeTopology, gpu: Gpu, size: float,
                      ctx: FnContext):
         yield from self._run_transfer(
-            [host_to_gpu_path(node, gpu)],
+            [self._direct_host_path(node, gpu, "from_host")],
             size,
             CAT_GFN_HOST,
             src=node.host.device_id,
@@ -117,7 +112,7 @@ class NvshmemPlane(DataPlane):
     def _gpu_to_host(self, node: NodeTopology, gpu: Gpu, size: float,
                      ctx: FnContext):
         yield from self._run_transfer(
-            [gpu_to_host_path(node, gpu)],
+            [self._direct_host_path(node, gpu, "to_host")],
             size,
             CAT_GFN_HOST,
             src=gpu.device_id,
@@ -216,10 +211,8 @@ class NvshmemPlane(DataPlane):
             )
             if placed != staging.device_id:
                 # Could not re-admit on any GPU: ship host-to-host.
-                from repro.topology.paths import host_to_host_path
-
                 yield from self._run_transfer(
-                    [host_to_host_path(self.cluster, src_node, ctx.node)],
+                    [self._host_to_host_path(src_node, ctx.node)],
                     obj.size,
                     CAT_GFN_GFN_CROSS,
                     src=src_node.host.device_id,
@@ -234,7 +227,7 @@ class NvshmemPlane(DataPlane):
         src_gpu = self.cluster.gpu(src_device)
         dst_storage = self._pick_storage_gpu(ctx.node)
         # Single-NIC GDR between the two storage GPUs.
-        path = cross_node_gdr_path(self.cluster, src_gpu, dst_storage)
+        path = self._gdr_path(src_gpu, dst_storage)
         yield from self._run_transfer(
             [path],
             obj.size,

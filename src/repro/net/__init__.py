@@ -2,7 +2,13 @@
 
 from repro.net.links import Link, LinkKind
 from repro.net.monitor import LinkUtilizationMonitor
-from repro.net.network import Flow, FlowNetwork, FlowStats, MacroOutcome
+from repro.net.network import (
+    ContentionIndex,
+    Flow,
+    FlowNetwork,
+    FlowStats,
+    MacroOutcome,
+)
 from repro.net.transfer import (
     DEFAULT_BATCH_CHUNKS,
     DEFAULT_BATCH_SETUP,
@@ -18,6 +24,7 @@ __all__ = [
     "Link",
     "LinkUtilizationMonitor",
     "LinkKind",
+    "ContentionIndex",
     "Flow",
     "FlowNetwork",
     "FlowStats",

@@ -298,6 +298,60 @@ class _LinkState:
     # ``bytes_carried`` query barriers it (and clears the pointer) so
     # the accumulator is exact even though the link has no owner.
     epoch_comp: Optional["_Component"] = None
+    # Contention-index memo: the allocated-rate sum as of network
+    # generation ``alloc_gen`` (-1 = never computed).  Recomputed with
+    # the exact expression ``allocated_on`` uses, so a fresh read and a
+    # memoized read return the same float bit for bit.
+    alloc_gen: int = -1
+    alloc_rates: float = 0.0
+
+
+class ContentionIndex:
+    """O(1)-readable per-link contention: flow counts and residuals.
+
+    The allocator already touches per-link state on every flow start,
+    finish, and reallocation; this index piggybacks on those events by
+    bumping one generation counter (``FlowNetwork._touch_contention``)
+    at every mutation choke point.  Reads memoize the allocated-rate
+    sum per link against that generation, so Algorithm 1 and the
+    harvest selectors — which probe many links between consecutive
+    network mutations — pay the flow-set walk once per (link, change)
+    instead of once per probe.
+
+    Bit-identity: a memoized value is the literal result of the same
+    ``sum(flow.rate for flow in state.flows.values())`` expression
+    :meth:`FlowNetwork.allocated_on` evaluates, cached only while no
+    mutation has intervened, so reads agree with the uncached
+    reference in every allocator mode (incremental / epoch / macro
+    virtual replay included — lazily advanced macro rates are read
+    identically by both).  The seeded routing differential suite pins
+    this equivalence.
+    """
+
+    __slots__ = ("_net",)
+
+    def __init__(self, net: "FlowNetwork") -> None:
+        self._net = net
+
+    def flow_count(self, link: Link) -> int:
+        """Number of active flows crossing *link* (no set copy)."""
+        return len(self._net.link_state(link).flows)
+
+    def allocated(self, link: Link) -> float:
+        """Total allocated rate on *link* (memoized per generation)."""
+        net = self._net
+        state = net.link_state(link)
+        if state.alloc_gen != net._contention_gen:
+            state.alloc_rates = sum(
+                flow.rate for flow in state.flows.values()
+            )
+            state.alloc_gen = net._contention_gen
+            net.contention_recomputes += 1
+        return state.alloc_rates
+
+    def residual(self, link: Link) -> float:
+        """Unallocated capacity on *link* (memoized per generation)."""
+        return max(0.0, link.capacity - self.allocated(link))
 
 
 class _Component:
@@ -504,6 +558,12 @@ class FlowNetwork:
         # (deferred Θ(members) advances) and full settle barriers.
         self.epoch_boundaries = 0
         self.epoch_settles = 0
+        # Contention index: generation counter bumped at every rate /
+        # membership mutation choke point; per-link allocated sums are
+        # memoized against it (see ContentionIndex).
+        self._contention_gen = 0
+        self.contention_recomputes = 0
+        self.contention = ContentionIndex(self)
 
     def export_metrics(self, registry) -> None:
         """Publish allocator counters into a telemetry MetricsRegistry.
@@ -524,6 +584,7 @@ class FlowNetwork:
             ("net.macro_splits", self.macro_splits),
             ("net.epoch_boundaries", self.epoch_boundaries),
             ("net.epoch_settles", self.epoch_settles),
+            ("net.contention_recomputes", self.contention_recomputes),
         ):
             counter = registry.counter(name)
             if value > counter.value:
@@ -559,9 +620,27 @@ class FlowNetwork:
         """Unallocated capacity on *link*."""
         return max(0.0, link.capacity - self.allocated_on(link))
 
+    def flow_count_on(self, link: Link) -> int:
+        """Number of active flows crossing *link*, without copying.
+
+        Equivalent to ``len(flows_on(link))`` but O(1): emptiness /
+        count probes (path-is-free checks, harvest uplink tests) should
+        use this instead of materializing a set per link.
+        """
+        return len(self.link_state(link).flows)
+
     def flows_on(self, link: Link) -> set:
         """Active flows crossing *link* (live view copy)."""
         return set(self.link_state(link).flows.values())
+
+    def _touch_contention(self) -> None:
+        """Invalidate the contention index's per-link memos.
+
+        Called (cheaply) from every method that can change a flow's
+        rate or a link's flow membership; over-calling is safe — it
+        only forces the next read to recompute.
+        """
+        self._contention_gen += 1
 
     def bytes_carried(self, link: Link) -> float:
         """Total bytes carried by *link* so far (includes in-flight)."""
@@ -611,6 +690,7 @@ class FlowNetwork:
         Returns the :class:`Flow`; its ``done`` event fires (with
         :class:`FlowStats`) when the last byte drains.
         """
+        self._touch_contention()
         flow = Flow(
             self.env,
             path,
@@ -674,6 +754,7 @@ class FlowNetwork:
         """
         if flow.flow_id not in self._flows:
             raise SimulationError(f"cancel of unknown flow {flow.flow_id}")
+        self._touch_contention()
         if flow._macro is not None:
             macro = flow._macro
             self._advance_flow(flow, self.env.now)
@@ -775,6 +856,7 @@ class FlowNetwork:
                 self.add_link(link)
         if any(self._links[link.link_id].flows for link in path):
             return None
+        self._touch_contention()
         flow = Flow(
             self.env,
             path,
@@ -873,6 +955,7 @@ class FlowNetwork:
         """
         macro = flow._macro
         self.macro_splits += 1
+        self._touch_contention()
         self._advance_flow(flow, now)
         if macro.slot is not None:
             macro.slot.disarm()
@@ -1130,6 +1213,7 @@ class FlowNetwork:
         macro = flow._macro
         entries = macro.entries
         last = len(entries) - 1
+        self._touch_contention()
         while True:
             entry = entries[macro.index]
             if now < entry.s:
@@ -1273,6 +1357,7 @@ class FlowNetwork:
     ) -> None:
         self.realloc_count += 1
         self.realloc_flows += len(component)
+        self._touch_contention()
         rates = self._compute_rates(component, links)
         rescheduled: list[int] = []
         for flow in component:
@@ -1321,6 +1406,7 @@ class FlowNetwork:
         flows = sorted(self._flows.values(), key=lambda f: f.flow_id)
         self.realloc_count += 1
         self.realloc_flows += len(flows)
+        self._touch_contention()
         rates = self._compute_rates(flows, self._links)
         for flow, rate in rates.items():
             flow.rate = rate
@@ -1562,6 +1648,7 @@ class FlowNetwork:
             if region.mode == "analytic":
                 region.mode = "fast"
             return
+        self._touch_contention()
         now = self.env.now
         st.advance(now)
         v = st.v
@@ -1785,6 +1872,7 @@ class FlowNetwork:
         if ledger is not None:
             self._bind_epoch(flow, new_rate, now, ledger)
             return
+        self._touch_contention()
         armed = flow._timer_seq != -1
         rem = flow._remaining
         if (
@@ -2070,6 +2158,7 @@ class FlowNetwork:
         Anything else settles the member's chain first and then applies
         the verbatim predicates on exact state.
         """
+        self._touch_contention()
         armed = flow._timer_seq != -1
         if new_rate == flow._rate:
             if armed and new_rate * (flow._timer_at - now) > 1.0:
@@ -2268,6 +2357,7 @@ class FlowNetwork:
         self.realloc_count += 1
         self.realloc_flows += comp.live
         self.analytic_events += 1
+        self._touch_contention()
         st = comp.region.astate
         if comp.region.mode != "analytic" or st is None:
             self._enter_analytic(comp)
@@ -2285,6 +2375,7 @@ class FlowNetwork:
 
     def _enter_analytic(self, comp: "_Component") -> None:
         """Move a clean single-link component onto the service curve."""
+        self._touch_contention()
         now = self.env.now
         if comp.region.mode == "classic":
             self._enter_fast(comp)
@@ -2321,6 +2412,7 @@ class FlowNetwork:
         st = comp.region.astate
         if comp.region.mode != "analytic" or st is None:
             return
+        self._touch_contention()
         now = self.env.now
         st.advance(now)
         entry = st.front()
@@ -2348,6 +2440,7 @@ class FlowNetwork:
 
     # -- internals -----------------------------------------------------------
     def _detach(self, flow: Flow) -> None:
+        self._touch_contention()
         self._flows.pop(flow.flow_id, None)
         for link in flow.path:
             self._links[link.link_id].flows.pop(flow.flow_id, None)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.common.config import net_routing_mode
 from repro.common.errors import RoutingError
 from repro.net.network import FlowNetwork
 from repro.net.transfer import Path
@@ -31,6 +32,7 @@ from repro.topology.paths import (
     host_to_gpu_path,
     nic_to_gpu_links,
 )
+from repro.topology.routebook import cluster_route_book, route_book
 
 
 @dataclass(frozen=True)
@@ -55,12 +57,50 @@ def _has_nvlink(node: NodeTopology, a: Gpu, b: Gpu) -> bool:
     return node.nvlink_capacity(a.index, b.index) > 0
 
 
+def _pcie_switch_table(node: NodeTopology, gpu: Gpu) -> tuple:
+    """Static per-switch candidates for :func:`select_pcie_routes`.
+
+    One entry per foreign PCIe switch, in ``node.switches`` order:
+    ``(uplink, aware_route, naive_route)`` where *aware_route* is the
+    NVLink-fed borrow (or ``None``) and *naive_route* the DeepPlan+
+    fallback.  Cached on the node's route book; only the uplink-busy
+    check remains dynamic.
+    """
+    book = route_book(node)
+    key = ("pcie_switch_table", gpu.index)
+    table = book.extras.get(key)
+    if table is None:
+        my_switch = node.switch_of(gpu)
+        entries = []
+        for switch in node.switches:
+            if switch.device_id == my_switch:
+                continue  # shares my uplink; borrowing it gains nothing
+            uplink = node.link(switch.device_id, node.host.device_id)
+            group = node.gpus_on_switch(switch.device_id)
+            linked = [peer for peer in group if _has_nvlink(node, gpu, peer)]
+            aware = (
+                PcieRoute(route_gpu=linked[0], via_nvlink=True)
+                if linked
+                else None
+            )
+            naive = (
+                PcieRoute(route_gpu=group[0], via_nvlink=False)
+                if group
+                else None
+            )
+            entries.append((uplink, aware, naive))
+        table = tuple(entries)
+        book.extras[key] = table
+    return table
+
+
 def select_pcie_routes(
     node: NodeTopology,
     gpu: Gpu,
     topology_aware: bool = True,
     network: Optional[FlowNetwork] = None,
     max_routes: Optional[int] = None,
+    routing: Optional[str] = None,
 ) -> list[PcieRoute]:
     """Pick route GPUs whose PCIe uplinks a gFn-host transfer may borrow.
 
@@ -68,14 +108,26 @@ def select_pcie_routes(
     resource being borrowed).  With *network* given, switches whose
     uplink already carries traffic are skipped (contention avoidance).
     """
+    if net_routing_mode(routing) == "book":
+        routes = []
+        for uplink, aware, naive in _pcie_switch_table(node, gpu):
+            if network is not None and network.flow_count_on(uplink):
+                continue
+            if aware is not None:
+                routes.append(aware)
+            elif not topology_aware and naive is not None:
+                routes.append(naive)
+            if max_routes is not None and len(routes) >= max_routes:
+                break
+        return routes
     my_switch = node.switch_of(gpu)
-    routes: list[PcieRoute] = []
+    routes = []
     for switch in node.switches:
         if switch.device_id == my_switch:
             continue  # shares my uplink; borrowing it gains nothing
         if network is not None:
             uplink = node.link(switch.device_id, node.host.device_id)
-            if network.flows_on(uplink):
+            if network.flow_count_on(uplink):
                 continue
         group = node.gpus_on_switch(switch.device_id)
         linked = [peer for peer in group if _has_nvlink(node, gpu, peer)]
@@ -94,6 +146,7 @@ def pcie_host_paths(
     routes: list[PcieRoute],
     direction: str = "to_host",
     include_direct: bool = True,
+    routing: Optional[str] = None,
 ) -> list[Path]:
     """Build the parallel path set for a gFn-host transfer.
 
@@ -104,8 +157,31 @@ def pcie_host_paths(
     """
     if direction not in ("to_host", "from_host"):
         raise RoutingError(f"unknown direction {direction!r}")
+    if net_routing_mode(routing) == "book":
+        book = route_book(node)
+        paths = []
+        if include_direct:
+            paths.append(
+                book.gpu_to_host(gpu.index)
+                if direction == "to_host"
+                else book.host_to_gpu(gpu.index)
+            )
+        for route in routes:
+            key = (
+                "pcie_path",
+                gpu.index,
+                route.route_gpu.index,
+                route.via_nvlink,
+                direction,
+            )
+            path = book.extras.get(key)
+            if path is None:
+                path = _borrowed_pcie_path(node, gpu, route, direction)
+                book.extras[key] = path
+            paths.append(path)
+        return paths
     host = node.host.device_id
-    paths: list[Path] = []
+    paths = []
     if include_direct:
         direct = (
             gpu_to_host_path(node, gpu)
@@ -113,44 +189,52 @@ def pcie_host_paths(
             else host_to_gpu_path(node, gpu)
         )
         paths.append(direct)
-    my_switch = node.switch_of(gpu)
     for route in routes:
-        peer = route.route_gpu
-        peer_switch = node.switch_of(peer)
-        if direction == "to_host":
-            if route.via_nvlink:
-                links = _nvlink_hop_links(node, gpu, peer) + [
-                    node.link(peer.device_id, peer_switch),
-                    node.link(peer_switch, host),
-                ]
-            else:
-                # PCIe p2p relay: out over my uplink, in to the peer,
-                # then out again over the peer's uplink.
-                links = [
-                    node.link(gpu.device_id, my_switch),
-                    node.link(my_switch, host),
-                    node.link(host, peer_switch),
-                    node.link(peer_switch, peer.device_id),
-                    node.link(peer.device_id, peer_switch),
-                    node.link(peer_switch, host),
-                ]
-        else:
-            if route.via_nvlink:
-                links = [
-                    node.link(host, peer_switch),
-                    node.link(peer_switch, peer.device_id),
-                ] + _nvlink_hop_links(node, peer, gpu)
-            else:
-                links = [
-                    node.link(host, peer_switch),
-                    node.link(peer_switch, peer.device_id),
-                    node.link(peer.device_id, peer_switch),
-                    node.link(peer_switch, host),
-                    node.link(host, my_switch),
-                    node.link(my_switch, gpu.device_id),
-                ]
-        paths.append(Path(tuple(links)))
+        paths.append(_borrowed_pcie_path(node, gpu, route, direction))
     return paths
+
+
+def _borrowed_pcie_path(
+    node: NodeTopology, gpu: Gpu, route: PcieRoute, direction: str
+) -> Path:
+    """One borrowed-uplink path of :func:`pcie_host_paths`."""
+    host = node.host.device_id
+    my_switch = node.switch_of(gpu)
+    peer = route.route_gpu
+    peer_switch = node.switch_of(peer)
+    if direction == "to_host":
+        if route.via_nvlink:
+            links = _nvlink_hop_links(node, gpu, peer) + [
+                node.link(peer.device_id, peer_switch),
+                node.link(peer_switch, host),
+            ]
+        else:
+            # PCIe p2p relay: out over my uplink, in to the peer,
+            # then out again over the peer's uplink.
+            links = [
+                node.link(gpu.device_id, my_switch),
+                node.link(my_switch, host),
+                node.link(host, peer_switch),
+                node.link(peer_switch, peer.device_id),
+                node.link(peer.device_id, peer_switch),
+                node.link(peer_switch, host),
+            ]
+    else:
+        if route.via_nvlink:
+            links = [
+                node.link(host, peer_switch),
+                node.link(peer_switch, peer.device_id),
+            ] + _nvlink_hop_links(node, peer, gpu)
+        else:
+            links = [
+                node.link(host, peer_switch),
+                node.link(peer_switch, peer.device_id),
+                node.link(peer.device_id, peer_switch),
+                node.link(peer_switch, host),
+                node.link(host, my_switch),
+                node.link(my_switch, gpu.device_id),
+            ]
+    return Path(tuple(links))
 
 
 @dataclass(frozen=True)
@@ -169,6 +253,7 @@ def select_nic_routes(
     dst: Gpu,
     topology_aware: bool = True,
     max_nics: Optional[int] = None,
+    routing: Optional[str] = None,
 ) -> list[NicRoute]:
     """Pick NIC lanes for a cross-node gFn-gFn transfer (Fig. 9(a)).
 
@@ -177,6 +262,26 @@ def select_nic_routes(
     direct NVLink to the source.  The destination side mirrors the
     source's NIC index ("corresponding GPUs" minimize NUMA hops).
     """
+    if net_routing_mode(routing) == "book":
+        # NIC lane selection is purely topological, so the whole route
+        # list interns on the cluster book; *max_nics* truncation is a
+        # prefix of the full enumeration by construction.
+        book = cluster_route_book(cluster)
+        key = ("nic_routes", src.device_id, dst.device_id, topology_aware)
+        routes = book.extras.get(key)
+        if routes is None:
+            routes = tuple(
+                select_nic_routes(
+                    cluster,
+                    src,
+                    dst,
+                    topology_aware=topology_aware,
+                    routing="enumerate",
+                )
+            )
+            book.extras[key] = routes
+        full = list(routes)
+        return full if max_nics is None else full[:max_nics]
     src_node = cluster.node_of_device(src.device_id)
     dst_node = cluster.node_of_device(dst.device_id)
     routes: list[NicRoute] = []
@@ -247,9 +352,35 @@ def parallel_nic_paths(
     dst: Gpu,
     topology_aware: bool = True,
     max_nics: Optional[int] = None,
+    routing: Optional[str] = None,
 ) -> list[Path]:
     """All NIC-lane paths for a cross-node transfer, ready to execute."""
+    if net_routing_mode(routing) == "book":
+        book = cluster_route_book(cluster)
+        key = ("nic_paths", src.device_id, dst.device_id, topology_aware)
+        lane_paths = book.extras.setdefault(key, {})
+        routes = select_nic_routes(
+            cluster, src, dst, topology_aware=topology_aware, routing="book"
+        )
+        if max_nics is not None:
+            routes = routes[:max_nics]
+        # Materialize lanes lazily per index: a lane beyond the prefix a
+        # caller asked for may be un-materializable (no NVLink hop), and
+        # the enumerate mode would never touch it either.
+        paths = []
+        for lane, route in enumerate(routes):
+            path = lane_paths.get(lane)
+            if path is None:
+                path = nic_route_path(cluster, src, dst, route)
+                lane_paths[lane] = path
+            paths.append(path)
+        return paths
     routes = select_nic_routes(
-        cluster, src, dst, topology_aware=topology_aware, max_nics=max_nics
+        cluster,
+        src,
+        dst,
+        topology_aware=topology_aware,
+        max_nics=max_nics,
+        routing="enumerate",
     )
     return [nic_route_path(cluster, src, dst, route) for route in routes]

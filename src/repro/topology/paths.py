@@ -57,19 +57,26 @@ def nvlink_graph(node: NodeTopology) -> "nx.DiGraph":
 
 
 def nvlink_simple_paths(
-    node: NodeTopology, src: Gpu, dst: Gpu, max_hops: int = 3
+    node: NodeTopology,
+    src: Gpu,
+    dst: Gpu,
+    max_hops: int = 3,
+    graph: Optional["nx.DiGraph"] = None,
 ) -> list[Path]:
     """All loop-free NVLink paths between two GPUs, shortest first.
 
     On NVSwitch nodes the hub route is the only sensible path.  On mesh
     nodes this enumerates simple paths up to *max_hops* GPU-to-GPU hops;
     ties are broken by higher bottleneck capacity, then lexicographic
-    order, keeping results deterministic.
+    order, keeping results deterministic.  Pass a prebuilt *graph*
+    (from :func:`nvlink_graph`) to skip rebuilding it per call; the
+    route book does this when warming whole pair tables.
     """
     if node.has_nvswitch:
         direct = nvlink_direct_path(node, src, dst)
         return [direct] if direct is not None else []
-    graph = nvlink_graph(node)
+    if graph is None:
+        graph = nvlink_graph(node)
     found = []
     for index_path in nx.all_simple_paths(
         graph, src.index, dst.index, cutoff=max_hops

@@ -87,14 +87,18 @@ def test_mode_metadata_resolves_and_accepts_overrides(monkeypatch):
         "allocator": "incremental",
         "transfer_mode": "coalesced",
         "epoch": False,
+        "routing": "book",
     }
     monkeypatch.setenv(ENV_NET_ALLOCATOR, "epoch")
     assert mode_metadata()["epoch"] is True
-    meta = mode_metadata(allocator="legacy", transfer="per_batch")
+    meta = mode_metadata(
+        allocator="legacy", transfer="per_batch", routing="enumerate"
+    )
     assert meta == {
         "allocator": "legacy",
         "transfer_mode": "per_batch",
         "epoch": False,
+        "routing": "enumerate",
     }
 
 
